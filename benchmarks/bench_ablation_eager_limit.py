@@ -1,0 +1,55 @@
+"""Ablation: the eager-limit protocol crossover.
+
+Sweeps the message size across the eager limit and records the backward
+reach of the idle wave — the structural signature of the protocol switch
+(Sec. II-C1: implementations let users tune this limit, changing the
+propagation physics).
+"""
+
+from repro.core import wave_front
+from repro.experiments.fig5_flavors import EAGER_LIMIT
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    LockstepConfig,
+    SimConfig,
+    UniformNetwork,
+    build_lockstep_program,
+    simulate,
+)
+from repro.viz.tables import format_table
+
+T = 3e-3
+SIZES = [4096, 65536, 131072, 131073, 262144, 1048576]
+
+
+def sweep():
+    rows = []
+    for size in SIZES:
+        cfg = LockstepConfig(
+            n_ranks=16, n_steps=16, t_exec=T, msg_size=size,
+            pattern=CommPattern(direction=Direction.UNIDIRECTIONAL),
+            delays=(DelaySpec(rank=8, step=0, duration=5 * T),),
+        )
+        trace = simulate(
+            build_lockstep_program(cfg),
+            SimConfig(network=UniformNetwork(), eager_limit=EAGER_LIMIT),
+        )
+        down = wave_front(trace, 8, -1).reach
+        up = wave_front(trace, 8, +1).reach
+        rows.append((size, "eager" if size <= EAGER_LIMIT else "rendezvous", up, down))
+    return rows
+
+
+def test_bench_eager_limit_crossover(once):
+    rows = once(sweep)
+    print()
+    print(format_table(["msg [B]", "protocol", "up reach", "down reach"], rows))
+
+    for size, proto, up, down in rows:
+        assert up > 0
+        if proto == "eager":
+            assert down == 0, f"eager {size} must not propagate backwards"
+        else:
+            assert down > 0, f"rendezvous {size} must propagate backwards"

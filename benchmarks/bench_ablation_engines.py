@@ -1,0 +1,64 @@
+"""Ablation: DAG engine vs. vectorized lockstep engine.
+
+DESIGN.md decision 2 ("two engines, one contract"): the lockstep engine
+exists purely for performance.  This bench quantifies the speedup on a
+mid-size run and re-checks the exactness contract on the benchmarked
+configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    ExponentialNoise,
+    LockstepConfig,
+    SimConfig,
+    UniformNetwork,
+    build_exec_times,
+    build_lockstep_program,
+    simulate,
+    simulate_lockstep,
+)
+
+T = 3e-3
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    cfg = LockstepConfig(
+        n_ranks=64,
+        n_steps=60,
+        t_exec=T,
+        msg_size=8192,
+        pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1,
+                            periodic=True),
+        delays=(DelaySpec(rank=5, step=0, duration=10 * T),),
+        noise=ExponentialNoise(1e-4),
+        seed=3,
+    )
+    return cfg, build_exec_times(cfg), UniformNetwork()
+
+
+def test_bench_dag_engine(benchmark, scenario):
+    cfg, exec_times, net = scenario
+    trace = benchmark(
+        lambda: simulate(build_lockstep_program(cfg, exec_times),
+                         SimConfig(network=net))
+    )
+    assert trace.total_runtime() > 0
+
+
+def test_bench_lockstep_engine(benchmark, scenario):
+    cfg, exec_times, net = scenario
+    res = benchmark(lambda: simulate_lockstep(cfg, exec_times=exec_times, network=net))
+    assert res.total_runtime() > 0
+
+
+def test_engines_agree_on_benchmarked_config(scenario):
+    cfg, exec_times, net = scenario
+    trace = simulate(build_lockstep_program(cfg, exec_times), SimConfig(network=net))
+    res = simulate_lockstep(cfg, exec_times=exec_times, network=net)
+    np.testing.assert_allclose(res.completion, trace.completion_matrix(), atol=1e-12)

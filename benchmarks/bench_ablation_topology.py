@@ -1,0 +1,80 @@
+"""Ablation: hierarchical topology and the wave speed.
+
+The paper's outlook (Sec. VII) predicts that "the propagation speed changes
+whenever a domain boundary is crossed" because T_comm differs between
+intra-socket, inter-socket and inter-node links.  This bench measures the
+per-hop front arrival gaps of a wave crossing node boundaries under a
+hierarchy-aware network model with deliberately slow inter-node links, and
+compares against a flat network.
+"""
+
+import numpy as np
+
+from repro.core import wave_front
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    HockneyModel,
+    LockstepConfig,
+    SimConfig,
+    UniformNetwork,
+    build_lockstep_program,
+    simulate,
+)
+from repro.sim.topology import CommDomain, single_switch_mapping
+from repro.viz.tables import format_table
+
+T = 3e-3
+MSG = 200_000  # large enough that bandwidth differences matter
+
+
+def run(network, mapping):
+    cfg = LockstepConfig(
+        n_ranks=16, n_steps=20, t_exec=T, msg_size=MSG,
+        pattern=CommPattern(direction=Direction.UNIDIRECTIONAL),
+        delays=(DelaySpec(rank=0, step=0, duration=6 * T),),
+    )
+    return simulate(
+        build_lockstep_program(cfg), SimConfig(network=network, mapping=mapping)
+    )
+
+
+def sweep():
+    mapping = single_switch_mapping(16, ppn=4, cores_per_socket=2)
+    slow_internode = HockneyModel(
+        latency={CommDomain.INTRA_SOCKET: 3e-7, CommDomain.INTER_SOCKET: 6e-7,
+                 CommDomain.INTER_NODE: 5e-5},
+        bandwidth={CommDomain.INTRA_SOCKET: 8e9, CommDomain.INTER_SOCKET: 5e9,
+                   CommDomain.INTER_NODE: 2e8},  # deliberately slow
+    )
+    hier = run(slow_internode, mapping)
+    flat = run(UniformNetwork(), None)
+    gaps_h = np.diff(wave_front(hier, 0, +1).arrival_times)
+    gaps_f = np.diff(wave_front(flat, 0, +1).arrival_times)
+    return mapping, gaps_h, gaps_f
+
+
+def test_bench_topology_speed_modulation(once):
+    mapping, gaps_h, gaps_f = once(sweep)
+    # gaps[i] is the front's travel time across the link (rank i+1, rank i+2):
+    # arrival(hop i+2) - arrival(hop i+1), and hop h sits on rank h.
+    links = [(i + 1, i + 2) for i in range(len(gaps_h))]
+    rows = []
+    for (a, b), gh, gf in zip(links, gaps_h, gaps_f):
+        rows.append((f"{a}->{b}", mapping.domain(a, b).name, gh * 1e3, gf * 1e3))
+    print()
+    print(format_table(["link", "link domain", "hier gap [ms]", "flat gap [ms]"], rows))
+
+    # Flat network: constant speed — all gaps equal.
+    assert np.ptp(gaps_f) < 0.05 * gaps_f.mean()
+    # Hierarchy: the paper's outlook claim — "the propagation speed changes
+    # whenever a domain boundary is crossed".  The per-hop gaps become
+    # strongly non-uniform (pipeline tilt redistributes the link costs, so
+    # the modulation is not a naive per-link map), and the wave is slower
+    # on average than on the flat network.
+    assert np.ptp(gaps_h) > 0.3 * gaps_h.mean()
+    assert gaps_h.mean() > 1.1 * gaps_f.mean()
+    # The expensive domains are present in the path (sanity of the setup).
+    domains = {mapping.domain(a, b) for a, b in links}
+    assert CommDomain.INTER_NODE in domains and CommDomain.INTRA_SOCKET in domains

@@ -1,0 +1,15 @@
+"""Benchmark: the Eq. 2 validation sweep.
+
+Prints the model-vs-measured table over (d, direction, protocol, T_exec,
+message size) and asserts sub-percent accuracy.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_eq2_speed_model(once):
+    result = once(run_experiment, "eq2", fast=True)
+    print()
+    print(result.render())
+
+    assert result.data["max_error_pct"] < 1.0

@@ -1,0 +1,18 @@
+"""Benchmark: the collective-communication extension experiment.
+
+Regenerates the delay-spreading comparison across collective algorithms
+(the paper's Sec. VII outlook direction) and asserts the exponential-vs-
+linear spreading contrast.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_collectives(once):
+    result = once(run_experiment, "ext_collectives", fast=True)
+    print()
+    print(result.render())
+
+    for name in ("barrier", "allreduce_recdoub", "allreduce_ring"):
+        assert result.data[name]["reach_one_step"] == 15
+    assert result.data["bcast_tree"]["reach_one_step"] < 15

@@ -1,0 +1,20 @@
+"""Benchmark: the hybrid MPI/OpenMP extension experiment.
+
+Regenerates the thread-group-size scan (paper Sec. VII outlook) and asserts
+its two monotone trends: effective per-phase noise up, inter-process skew
+down.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_hybrid(once):
+    result = once(run_experiment, "ext_hybrid", fast=True)
+    print()
+    print(result.render())
+
+    threads = sorted(result.data)
+    noises = [result.data[t]["effective_noise"] for t in threads]
+    skews = [result.data[t]["skew"] for t in threads]
+    assert all(b > a for a, b in zip(noises, noises[1:]))
+    assert skews[-1] < skews[0]

@@ -1,0 +1,20 @@
+"""Benchmark: the memory-bound idle-wave extension experiment.
+
+Regenerates the core-bound vs. saturated comparison (paper Sec. VII
+outlook) and asserts that saturation absorbs part of an injected delay.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_ext_membound(once):
+    result = once(run_experiment, "ext_membound", fast=True)
+    print()
+    print(result.render())
+
+    cb = result.data["core-bound (scalable)"]["excess_fraction"]
+    mb = result.data["memory-bound (saturated)"]["excess_fraction"]
+    assert cb == pytest.approx(1.0, rel=0.02)
+    assert mb < cb - 0.1

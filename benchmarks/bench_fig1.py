@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 1 — STREAM triad strong scaling.
+
+Prints the paper's three panels as rows (sockets vs. measured/model
+performance) and asserts the headline shape: measured execution performance
+above the linear model at multi-socket scale, accurate model at PPN=1.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig1_stream_scaling(once):
+    result = once(run_experiment, "fig1", fast=True)
+    print()
+    print(result.render())
+
+    for point in result.data["a"]:
+        if point["sockets"] >= 4:
+            assert point["p_exec"] > 1.05 * point["model_exec"]
+    for point in result.data["c"]:
+        rel = abs(point["p_total"] - point["model_total"]) / point["model_total"]
+        assert rel < 0.10

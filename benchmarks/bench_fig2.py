@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 2 — LBM desynchronization timeline.
+
+Prints the snapshot table (step, mean/model wall-clock position, spread,
+dominant wavelength) and asserts the emergent long-wavelength pattern plus
+the better-than-model runtime.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig2_lbm_timeline(once):
+    result = once(run_experiment, "fig2", fast=True)
+    print()
+    print(result.render())
+
+    late = [s for s in result.data["snapshots"] if s["step"] >= 100]
+    assert any(s["wavelength"] >= 50 for s in late)
+    assert result.data["deviation"] > 0  # faster than the model

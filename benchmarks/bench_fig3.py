@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 3 — natural noise histograms.
+
+Prints the per-system/per-SMT summary rows and asserts the calibration:
+SMT-on means 2.4/2.8 µs, Meggie SMT-off bimodal with the ~660 µs driver
+mode.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig3_noise_histograms(once):
+    result = once(run_experiment, "fig3", fast=True)
+    print()
+    print(result.render())
+
+    hists = result.data["histograms"]
+    assert hists["Emmy (InfiniBand) / SMT on"].mean == pytest.approx(2.4e-6, rel=0.1)
+    assert hists["Meggie (Omni-Path) / SMT on"].mean == pytest.approx(2.8e-6, rel=0.1)
+    meggie_off = hists["Meggie (Omni-Path) / SMT off"]
+    assert meggie_off.is_bimodal(min_separation=100e-6)

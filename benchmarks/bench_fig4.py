@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig. 4 — basic delay propagation.
+
+Prints the rank/time diagram and the wave-front arrival rows; asserts the
+measured speed against Eq. 2 and the absence of backward propagation.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig4_basic_propagation(once):
+    result = once(run_experiment, "fig4", fast=True)
+    print()
+    print(result.render())
+
+    assert result.data["speed"] == pytest.approx(result.data["model_speed"], rel=0.01)
+    assert result.data["downward_reach"] == 0

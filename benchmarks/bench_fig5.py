@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 5 — all eight propagation flavors.
+
+Prints the per-panel summary (reach, speed, meeting ranks, resync) and
+asserts each panel's mechanism.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig5_flavors(once):
+    result = once(run_experiment, "fig5", fast=True)
+    print()
+    print(result.render())
+
+    data = result.data
+    assert data["(a) eager uni open"]["down_reach"] == 0
+    assert data["(e) rdv uni open"]["down_reach"] == 5
+    ratio = data["(g) rdv bi open"]["speed_up"] / data["(e) rdv uni open"]["speed_up"]
+    assert ratio == pytest.approx(2.0, rel=0.02)
+    assert data["(d) eager bi periodic"]["meeting_ranks"] == [14]

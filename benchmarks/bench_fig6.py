@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 6 — interacting idle waves.
+
+Prints the per-scenario summary (waves, resync step, superposition defect)
+and asserts the cancellation ordering: equal < half < never (random).
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig6_interaction(once):
+    result = once(run_experiment, "fig6", fast=True)
+    print()
+    print(result.render())
+
+    equal = result.data["equal"]["resync_step"]
+    half = result.data["half"]["resync_step"]
+    rand = result.data["random"]["resync_step"]
+    assert equal is not None and half is not None and rand is None
+    assert equal < half
+    for scenario in ("equal", "half", "random"):
+        assert result.data[scenario]["superposition_defect"] < 0

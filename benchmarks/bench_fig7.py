@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 7 — d=2 rendezvous speed comparison.
+
+Prints the uni-vs-bi speed table and asserts the 2x ratio and Eq. 2
+agreement.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig7_speed_d2(once):
+    result = once(run_experiment, "fig7", fast=True)
+    print()
+    print(result.render())
+
+    assert result.data["ratio"] == pytest.approx(2.0, rel=0.01)
+    for panel in ("(a) unidirectional", "(b) bidirectional"):
+        d = result.data[panel]
+        assert d["speed"] == pytest.approx(d["model"], rel=0.01)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 8 — decay rate vs. noise level.
+
+Prints the three systems' median/min/max decay rates per noise level and
+asserts the positive correlation on every system.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig8_decay_rate(once):
+    result = once(run_experiment, "fig8", fast=True)
+    print()
+    print(result.render())
+
+    for system, series in result.data["series"].items():
+        medians = [pt["stats"].median for pt in series]
+        assert medians[-1] > medians[0] > 0, system

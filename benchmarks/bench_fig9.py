@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 9 — idle-period elimination.
+
+Prints the elimination scan (runtime with/without delay, excess, run-to-run
+spread) and asserts the shape: full excess at E=0, shrinking with E.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig9_elimination(once):
+    result = once(run_experiment, "fig9", fast=True)
+    print()
+    print(result.render())
+
+    points = result.data["points"]
+    assert points[0].excess == pytest.approx(result.data["delay"], rel=0.01)
+    excesses = [p.excess for p in points]
+    assert excesses == sorted(excesses, reverse=True)
+    # E=0 matches the paper's 51.1 ms total.
+    assert points[0].runtime_with_delay == pytest.approx(51.1e-3, rel=0.01)

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table/figure data) inside
+the timed region and asserts its key shape property afterwards, so a
+benchmark run doubles as a reproduction run.  Heavy experiments use
+``benchmark.pedantic`` with a single round to keep the suite's total
+runtime bounded.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the callable exactly once inside the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Noise damping: how fine-grained noise kills an idle wave.
+
+Reproduces the physics of the paper's Secs. V-A/V-B (Figs. 8 and 9) as a
+single narrative script:
+
+1. inject a long delay into a quiet ring -> the wave survives forever and
+   the full delay shows up in the runtime;
+2. add exponential application noise (Eq. 3) of increasing strength E ->
+   the wave decays faster and faster (decay rate beta);
+3. past a threshold, the extra runtime caused by the delay is no longer
+   observable: the noise has absorbed it.
+
+Run:  python examples/noise_damping.py
+"""
+
+import repro
+
+T_EXEC = 3e-3
+DELAY = 30e-3  # 10 execution phases
+N_RANKS, N_STEPS = 40, 45
+
+base = repro.LockstepConfig(
+    n_ranks=N_RANKS,
+    n_steps=N_STEPS,
+    t_exec=T_EXEC,
+    msg_size=8192,
+    pattern=repro.CommPattern(
+        direction=repro.Direction.BIDIRECTIONAL, distance=1, periodic=True
+    ),
+    delays=(repro.DelaySpec(rank=0, step=0, duration=DELAY),),
+)
+
+print(f"{'E [%]':>6} | {'decay rate [µs/rank]':>21} | {'survival [ranks]':>17} | "
+      f"{'excess runtime [ms]':>20}")
+print("-" * 75)
+
+for E in (0.0, 0.02, 0.05, 0.10, 0.20, 0.25):
+    noise = repro.ExponentialNoise(E * T_EXEC)
+    cfg = repro.LockstepConfig(
+        n_ranks=base.n_ranks, n_steps=base.n_steps, t_exec=base.t_exec,
+        msg_size=base.msg_size, pattern=base.pattern, delays=base.delays,
+        noise=noise, seed=7,
+    )
+    cfg_clean = repro.LockstepConfig(
+        n_ranks=base.n_ranks, n_steps=base.n_steps, t_exec=base.t_exec,
+        msg_size=base.msg_size, pattern=base.pattern, delays=(),
+        noise=noise, seed=7,
+    )
+    run = repro.simulate_lockstep(cfg)
+    run_clean = repro.simulate_lockstep(cfg_clean)
+
+    decay = repro.measure_decay(run, source=0, periodic=True)
+    excess = repro.excess_runtime(run, run_clean)
+    print(f"{E * 100:6.0f} | {decay.beta * 1e6:21.1f} | {decay.survival_hops:17d} | "
+          f"{excess * 1e3:20.2f}")
+
+print(f"\ninjected delay: {DELAY * 1e3:.0f} ms -- watch the excess runtime column "
+      "shrink as E grows:")
+print("the forward edge of the wave is insensitive to noise, but its trailing")
+print("edge erodes, and eventually the wave is absorbed entirely (Fig. 9).")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""STREAM triad desynchronization: when noise makes MPI code *faster*.
+
+Reproduces the paper's Fig. 1 insight on the saturation simulator: a
+memory-bound MPI STREAM triad in strong scaling, where the naive
+nonoverlapping model (Eq. 1) underestimates the measured execution
+performance.  Desynchronized ranks stream while their neighbors wait in
+MPI, which spreads the load on the shared memory interface and overlaps
+communication with computation automatically.
+
+Run:  python examples/stream_desync.py          (takes ~20 s)
+"""
+
+import numpy as np
+
+from repro.cluster import EMMY
+from repro.models import triad_strong_scaling_model
+from repro.sim import simulate_saturation
+from repro.workloads import TriadWorkload, triad_kernel, triad_saturation_config
+
+workload = TriadWorkload()
+
+# --- node-level fidelity check: the actual kernel ----------------------
+n_local = 2_000_000
+a, b, c = (np.zeros(n_local), np.random.rand(n_local), np.random.rand(n_local))
+triad_kernel(a, b, c, s=1.5)
+assert np.allclose(a, b + 1.5 * c)
+print(f"triad kernel verified on {n_local:,} elements "
+      f"({3 * 8 * n_local / 1e6:.0f} MB working set)\n")
+
+# --- strong scaling scan (the Fig. 1a shape) ----------------------------
+print(f"{'sockets':>7} | {'measured total':>14} | {'measured exec':>13} | "
+      f"{'model total':>11} | {'model exec':>10}   [GF/s]")
+print("-" * 72)
+
+N_STEPS = 400  # the desync instability needs a few hundred iterations
+for n_sockets in (1, 2, 4, 6, 8):
+    cfg = triad_saturation_config(
+        EMMY.with_nodes(8), n_sockets=n_sockets, n_steps=N_STEPS, seed=1
+    )
+    res = simulate_saturation(cfg)
+    warm = N_STEPS // 3
+    t_iter = (res.completion[:, -1].max() - res.completion[:, warm - 1].max()) / (
+        N_STEPS - warm
+    )
+    t_exec = (res.exec_end - res.exec_start)[:, warm:].mean()
+
+    t_model = triad_strong_scaling_model(n_sockets)
+    t_model_exec = workload.v_mem / (n_sockets * EMMY.b_socket)
+
+    print(f"{n_sockets:7d} | {workload.performance(t_iter) / 1e9:14.2f} | "
+          f"{workload.performance(t_exec) / 1e9:13.2f} | "
+          f"{workload.performance(t_model) / 1e9:11.2f} | "
+          f"{workload.performance(t_model_exec) / 1e9:10.2f}")
+
+print("\nAt multi-socket scale the measured *execution* performance beats the")
+print("linear-scaling model: noise-induced desynchronization lets ranks")
+print("stream while neighbors communicate (automatic overlap, paper Fig. 1a).")

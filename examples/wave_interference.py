@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Wave interference: idle waves are nonlinear and cancel on collision.
+
+Reproduces the paper's Fig. 6 study: several delays injected at once on a
+periodic 100-rank chain (one per socket).  Counter-propagating idle waves
+meet and annihilate; the 'superposition defect' quantifies how much idle
+time the collisions destroyed compared with a linear superposition of
+single-wave runs.
+
+Run:  python examples/wave_interference.py
+"""
+
+import numpy as np
+
+import repro
+from repro.viz import render_idle_heatmap
+
+T_EXEC = 3e-3
+N_RANKS, N_STEPS = 100, 20
+
+mapping = repro.sim.topology.single_switch_mapping(N_RANKS, ppn=20)
+pattern = repro.CommPattern(
+    direction=repro.Direction.BIDIRECTIONAL, distance=1, periodic=True
+)
+
+# One 15 ms delay at the sixth process of each of the ten sockets.
+delays = repro.delays_at_local_rank(
+    mapping, local_rank=5, durations=[5 * T_EXEC] * 10, step=0
+)
+
+cfg = repro.LockstepConfig(
+    n_ranks=N_RANKS, n_steps=N_STEPS, t_exec=T_EXEC, msg_size=16384,
+    pattern=pattern, delays=tuple(delays),
+)
+combined = repro.simulate_lockstep(cfg)
+
+print("Idle map of ten colliding wave pairs ('#' = wave idle):\n")
+print(render_idle_heatmap(combined))
+
+# --- the nonlinearity check -------------------------------------------
+singles = []
+for spec in delays:
+    single_cfg = repro.LockstepConfig(
+        n_ranks=N_RANKS, n_steps=N_STEPS, t_exec=T_EXEC, msg_size=16384,
+        pattern=pattern, delays=(spec,),
+    )
+    singles.append(repro.simulate_lockstep(single_cfg))
+
+defect = repro.superposition_defect(combined, singles)
+linear_sum = sum(float(np.sum(s.idle_matrix())) for s in singles)
+
+resync = repro.resync_step(combined)
+print(f"\nresynchronized after step : {resync}")
+print(f"linear-superposition idle : {linear_sum * 1e3:9.1f} rank-ms")
+print(f"actual combined idle      : {(linear_sum + defect) * 1e3:9.1f} rank-ms")
+print(f"superposition defect      : {defect * 1e3:9.1f} rank-ms "
+      f"({defect / linear_sum:+.0%})")
+print("\nA linear wave equation would give a defect of ~0; the large negative")
+print("defect proves idle waves interact nonlinearly (paper, Sec. IV-B).")

@@ -1,0 +1,7 @@
+"""``python -m repro`` — alias for the repro-experiment CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,74 @@
+"""Desynchronization metrics.
+
+The motivating experiments (Figs. 1 and 2) revolve around how far a
+bulk-synchronous program drifts from lockstep.  This module quantifies
+that drift from a run's timing matrices:
+
+- :func:`skew_spread` — peak-to-peak completion skew per step (the
+  amplitude of the Fig. 2 pattern),
+- :func:`desync_onset` — the step at which the spread first exceeds a
+  fraction of the phase length (when the instability "switches on"),
+- :func:`overlap_efficiency` — how much of the communication time is
+  hidden behind computation, the quantity that desynchronization improves
+  and the naive nonoverlapping model (Eq. 1) assumes to be zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timing import RunTiming
+
+__all__ = ["skew_spread", "desync_onset", "overlap_efficiency"]
+
+
+def skew_spread(run) -> np.ndarray:
+    """Per-step peak-to-peak spread of completion times (seconds).
+
+    Zero for a perfectly synchronized run; the Fig. 2 amplitude when the
+    desynchronization pattern has developed.
+    """
+    timing = RunTiming.of(run)
+    return np.ptp(timing.completion, axis=0)
+
+
+def desync_onset(run, fraction: float = 0.5) -> int | None:
+    """First step whose skew spread exceeds ``fraction × T_exec``.
+
+    Returns ``None`` if the run never desynchronizes that far.  Uses the
+    recorded nominal phase length; falls back to the median execution
+    duration.
+    """
+    if fraction <= 0:
+        raise ValueError(f"fraction must be > 0, got {fraction}")
+    timing = RunTiming.of(run)
+    t_exec = timing.t_exec
+    if not t_exec:
+        durations = np.diff(timing.completion, axis=1)
+        t_exec = float(np.median(durations)) if durations.size else 0.0
+    if t_exec <= 0:
+        raise ValueError("cannot determine the nominal phase length")
+    spread = skew_spread(run)
+    hits = np.nonzero(spread > fraction * t_exec)[0]
+    return int(hits[0]) if hits.size else None
+
+
+def overlap_efficiency(run) -> float:
+    """Fraction of the nonoverlapping time budget saved by the run.
+
+    ``1 - runtime / (sum of max exec per step + sum of max wait per step)``:
+    0 means the run is as slow as the fully serialized exec+comm model;
+    positive values mean computation and communication (of *different
+    ranks*) overlapped — the automatic-overlap effect of Fig. 1.
+    """
+    timing = RunTiming.of(run)
+    exec_start = np.empty_like(timing.exec_end)
+    exec_start[:, 0] = 0.0
+    exec_start[:, 1:] = timing.completion[:, :-1]
+    exec_durations = timing.exec_end - exec_start
+    serial_budget = float(
+        exec_durations.max(axis=0).sum() + timing.idle.max(axis=0).sum()
+    )
+    if serial_budget <= 0:
+        raise ValueError("run has no time budget to compare against")
+    return 1.0 - timing.total_runtime() / serial_budget

@@ -1,0 +1,80 @@
+"""Fourier analysis of desynchronization patterns.
+
+The prior work the paper builds on (Markidis et al. 2015, Peng et al. 2016)
+used Fourier analysis to identify idle waves as nondispersive modes; and
+the paper's own Fig. 2 observes that the emergent LBM desynchronization
+pattern has "a fundamental wavelength equal to the size of the system".
+This module extracts that structure from a run's per-rank skew profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timing import RunTiming
+
+__all__ = ["SkewSpectrum", "skew_profile", "skew_spectrum", "dominant_wavelength"]
+
+
+def skew_profile(run, step: int) -> np.ndarray:
+    """Per-rank skew at one time step: completion minus the rank mean.
+
+    This is the quantity plotted (as marker positions) in Fig. 2: how far
+    ahead/behind each rank is at a given bulk-synchronous step.
+    """
+    timing = RunTiming.of(run)
+    if not 0 <= step < timing.n_steps:
+        raise IndexError(f"step {step} out of range [0, {timing.n_steps})")
+    col = timing.completion[:, step]
+    return col - col.mean()
+
+
+@dataclass(frozen=True)
+class SkewSpectrum:
+    """Spatial Fourier spectrum of a per-rank skew profile."""
+
+    wavenumbers: np.ndarray  # cycles per chain length, k = 0 .. N/2
+    power: np.ndarray
+    n_ranks: int
+
+    def dominant_mode(self) -> int:
+        """Wavenumber (k >= 1) with the largest power."""
+        if len(self.power) < 2:
+            raise ValueError("spectrum has no nonzero wavenumber")
+        return int(1 + np.argmax(self.power[1:]))
+
+    def dominant_wavelength(self) -> float:
+        """Wavelength of the dominant mode, in ranks."""
+        return self.n_ranks / self.dominant_mode()
+
+    def mode_fraction(self, k: int) -> float:
+        """Fraction of total (k >= 1) power carried by mode ``k``."""
+        if not 1 <= k < len(self.power):
+            raise IndexError(f"mode {k} out of range [1, {len(self.power)})")
+        total = self.power[1:].sum()
+        if total == 0:
+            return 0.0
+        return float(self.power[k] / total)
+
+
+def skew_spectrum(run, step: int) -> SkewSpectrum:
+    """Spatial FFT of the skew profile at one step."""
+    profile = skew_profile(run, step)
+    n = profile.size
+    spec = np.fft.rfft(profile)
+    return SkewSpectrum(
+        wavenumbers=np.arange(spec.size),
+        power=np.abs(spec) ** 2,
+        n_ranks=n,
+    )
+
+
+def dominant_wavelength(run, step: int) -> float:
+    """Wavelength (in ranks) of the strongest spatial mode at ``step``.
+
+    For the Fig. 2 LBM pattern this approaches the system size (one full
+    wavelength across the 100 ranks).
+    """
+    return skew_spectrum(run, step).dominant_wavelength()

@@ -1,0 +1,58 @@
+"""Command-line interface: regenerate any paper figure's data.
+
+Usage::
+
+    repro-experiment fig4            # fast variant of the Fig. 4 study
+    repro-experiment fig8 --full     # paper-sized run counts
+    repro-experiment all --seed 3    # everything
+    python -m repro fig5             # module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Reproduce the figures of 'Propagation and Decay of Injected "
+            "One-Off Delays on Clusters' (CLUSTER 2019) on the built-in "
+            "cluster simulator."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(EXPERIMENTS), "all"],
+        help="experiment id (paper figure) or 'all'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized parameters (slower; default is a fast variant)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.perf_counter()
+        result = run_experiment(name, fast=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - t0
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

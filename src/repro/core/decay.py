@@ -1,0 +1,128 @@
+"""Idle-wave decay under noise (Sec. V-A, Fig. 8).
+
+Fine-grained noise erodes the *trailing* edge of an idle wave: on each hop,
+part of the idle period is "swallowed" by the accumulated noise delays of
+the ranks it passes.  The paper quantifies this with the **average decay
+rate** β̄ in µs/rank — how much idle duration the wave loses per rank
+travelled — and finds a clear positive correlation between β̄ and the noise
+level ``E`` (mean relative delay per execution period).
+
+This module measures β̄ from a run and provides the multi-run statistics
+(median/min/max over seeds) the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.idle_wave import default_threshold, wave_front
+from repro.core.timing import RunTiming
+
+__all__ = ["DecayMeasurement", "measure_decay", "decay_statistics"]
+
+
+@dataclass(frozen=True)
+class DecayMeasurement:
+    """Decay of one idle wave along its propagation path.
+
+    Attributes
+    ----------
+    beta:
+        Average decay rate in **seconds/rank**: amplitude lost per hop,
+        averaged over the wave's survival distance.  (Multiply by 1e6 for
+        the paper's µs/rank.)
+    slope_beta:
+        Decay rate from a least-squares fit of amplitude vs. hop — more
+        robust to non-monotonic noise wiggles than the endpoint estimate.
+    initial_amplitude:
+        Idle duration at the first hop (seconds).
+    survival_hops:
+        Number of ranks the wave reached before dropping below threshold.
+    amplitudes:
+        Idle duration at each hop (seconds).
+    """
+
+    beta: float
+    slope_beta: float
+    initial_amplitude: float
+    survival_hops: int
+    amplitudes: np.ndarray
+
+
+def measure_decay(
+    run,
+    source: int,
+    direction: int = +1,
+    threshold: float | None = None,
+    periodic: bool | None = None,
+) -> DecayMeasurement:
+    """Measure the decay rate of the idle wave emanating from ``source``.
+
+    The wave's amplitude at each hop is its idle duration on that rank
+    (leading-edge arrival period).  The endpoint estimator
+
+    ``beta = (A_first - A_last) / (hops - 1)``
+
+    matches the paper's "average decay rate"; the least-squares slope over
+    all hops is reported alongside.  On a noise-free system both are ~0
+    (the wave propagates without decay until it runs out or cancels).
+
+    Raises
+    ------
+    ValueError
+        If the wave is not detected on at least one rank.
+    """
+    timing = RunTiming.of(run)
+    if threshold is None:
+        threshold = default_threshold(timing)
+    front = wave_front(run, source, direction=direction, threshold=threshold, periodic=periodic)
+    if len(front) == 0:
+        raise ValueError(
+            f"no idle wave detected from rank {source} above threshold {threshold:.3g}s"
+        )
+    amps = front.amplitudes
+    if len(amps) == 1:
+        # Wave died after a single hop: it lost its whole amplitude in one
+        # further hop (the next rank shows nothing above threshold).
+        beta = float(amps[0])
+        slope_beta = float(amps[0])
+    else:
+        beta = float((amps[0] - amps[-1]) / (len(amps) - 1))
+        slope = np.polyfit(front.hops.astype(float), amps, 1)[0]
+        slope_beta = float(-slope)
+    return DecayMeasurement(
+        beta=beta,
+        slope_beta=slope_beta,
+        initial_amplitude=float(amps[0]),
+        survival_hops=int(front.reach),
+        amplitudes=amps,
+    )
+
+
+@dataclass(frozen=True)
+class DecayStatistics:
+    """Median/min/max decay rate over repeated runs (Fig. 8 error bars)."""
+
+    median: float
+    minimum: float
+    maximum: float
+    samples: tuple[float, ...]
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.samples)
+
+
+def decay_statistics(betas: "list[float] | np.ndarray") -> DecayStatistics:
+    """Summarize per-run decay rates the way Fig. 8 reports them."""
+    arr = np.asarray(list(betas), dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one decay-rate sample")
+    return DecayStatistics(
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        samples=tuple(float(x) for x in arr),
+    )

@@ -1,0 +1,231 @@
+"""Idle-period and idle-wave detection.
+
+An *idle wave* (Sec. IV) is the travelling disturbance seeded by a one-off
+delay: each rank in turn spends a long time in ``MPI_Waitall`` because its
+neighbor's message is late.  This module turns the dense idle matrix of a
+run into structured objects:
+
+- :func:`idle_periods` — all (rank, step) wait intervals above a threshold,
+- :func:`wave_front` — per-rank arrival time/step of the wave's leading
+  edge, measured outward from the injection rank,
+- :func:`default_threshold` — a sensible cut separating genuine wave idle
+  time from background communication/noise jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timing import RunTiming
+
+__all__ = ["IdlePeriod", "WaveFront", "default_threshold", "idle_periods", "wave_front"]
+
+
+@dataclass(frozen=True)
+class IdlePeriod:
+    """One above-threshold wait interval on one rank at one step."""
+
+    rank: int
+    step: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class WaveFront:
+    """The leading edge of an idle wave, indexed by hop distance.
+
+    Attributes
+    ----------
+    source:
+        Rank where the delay was injected.
+    hops:
+        Hop distances (1, 2, ...) at which the wave was detected,
+        in increasing order, contiguous from 1.
+    ranks:
+        The rank at each hop (depends on direction and periodicity).
+    arrival_times:
+        Wall-clock start of the wave's idle period at each hop.
+    arrival_steps:
+        Bulk-synchronous step index of the arrival at each hop.
+    amplitudes:
+        Idle duration (seconds) of the wave at each hop — the quantity
+        whose per-hop decrease is the decay rate of Sec. V.
+    """
+
+    source: int
+    hops: np.ndarray
+    ranks: np.ndarray
+    arrival_times: np.ndarray
+    arrival_steps: np.ndarray
+    amplitudes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def reach(self) -> int:
+        """Number of hops the wave survived."""
+        return int(self.hops[-1]) if len(self.hops) else 0
+
+
+def default_threshold(timing: RunTiming, factor: float = 0.5) -> float:
+    """Idle-duration cut separating wave idleness from background jitter.
+
+    Two regimes are combined:
+
+    - ``factor * t_exec`` when the run records its nominal phase length (a
+      wave by construction idles for a sizable fraction of a phase), with a
+      fallback of ``10 x`` the median positive idle time;
+    - for runs dominated by a *large* idle wave (max idle >> phase length,
+      e.g. the 90 ms delays of Fig. 8), the cut additionally scales with
+      the wave amplitude (5 % of the maximum idle), so that exponential
+      noise excursions above the phase-based cut cannot masquerade as the
+      wave front.
+    """
+    t_exec = timing.t_exec
+    if t_exec:
+        base = factor * float(t_exec)
+    else:
+        positive = timing.idle[timing.idle > 0]
+        if positive.size == 0:
+            return 0.0
+        base = 10.0 * float(np.median(positive))
+    if timing.idle.size == 0:
+        return base
+    # Three competing demands, combined as a max:
+    # - `base`: a wave idles for a sizable fraction of a phase;
+    # - 5 % of the dominant amplitude: for very long delays (e.g. the 90 ms
+    #   waves of Fig. 8) exponential-noise excursions can exceed `base`, so
+    #   the cut must scale with the wave;
+    # - twice the 90th idle percentile: regular communication waits (long
+    #   message flights, pipeline-fill transients) put a floor under many
+    #   cells that can exceed `base`.  Clipped to a quarter of the dominant
+    #   amplitude so that wide waves (> 10 % of cells) cannot push the cut
+    #   above themselves.
+    max_idle = float(np.nanmax(timing.idle))
+    p90 = float(np.nanpercentile(timing.idle, 90))
+    background_term = min(2.0 * p90, 0.25 * max_idle)
+    return max(base, 0.05 * max_idle, background_term)
+
+
+def idle_periods(run, threshold: float | None = None) -> list[IdlePeriod]:
+    """All wait intervals with duration above ``threshold``, sorted by start.
+
+    Parameters
+    ----------
+    run:
+        A ``Trace``, ``LockstepResult`` or ``RunTiming``.
+    threshold:
+        Minimum duration in seconds; defaults to :func:`default_threshold`.
+    """
+    timing = RunTiming.of(run)
+    if threshold is None:
+        threshold = default_threshold(timing)
+    starts = timing.wait_start()
+    out: list[IdlePeriod] = []
+    ranks, steps = np.nonzero(timing.idle > threshold)
+    for r, k in zip(ranks.tolist(), steps.tolist()):
+        out.append(
+            IdlePeriod(rank=r, step=k, start=float(starts[r, k]), end=float(timing.completion[r, k]))
+        )
+    out.sort(key=lambda p: (p.start, p.rank))
+    return out
+
+
+def _hop_rank(source: int, hop: int, direction: int, n_ranks: int, periodic: bool) -> int | None:
+    """Rank at ``hop`` steps from ``source`` in ``direction`` (+1 = up)."""
+    r = source + direction * hop
+    if periodic:
+        return r % n_ranks
+    return r if 0 <= r < n_ranks else None
+
+
+def wave_front(
+    run,
+    source: int,
+    direction: int = +1,
+    threshold: float | None = None,
+    periodic: bool | None = None,
+    max_hops: int | None = None,
+) -> WaveFront:
+    """Trace the leading edge of the idle wave emanating from ``source``.
+
+    Walks outward rank by rank in ``direction`` (+1 towards higher ranks,
+    -1 towards lower).  At each hop the wave's *arrival* is the first
+    above-threshold idle period on that rank; the walk stops at the first
+    rank showing no such period (the wave has decayed or run out) or after
+    one full traversal on a periodic chain.
+
+    Parameters
+    ----------
+    run:
+        A ``Trace``, ``LockstepResult`` or ``RunTiming``.
+    source:
+        Injection rank (hop 0; not itself part of the front).
+    direction:
+        +1 or -1 along the rank chain.
+    threshold:
+        Idle-duration cut; defaults to :func:`default_threshold`.
+    periodic:
+        Whether the chain wraps around.  Read from the run's communication
+        pattern metadata when available, else False.
+    max_hops:
+        Stop after this many hops even if the wave continues.
+    """
+    if direction not in (+1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    timing = RunTiming.of(run)
+    if not 0 <= source < timing.n_ranks:
+        raise IndexError(f"source rank {source} out of range [0, {timing.n_ranks})")
+    if threshold is None:
+        threshold = default_threshold(timing)
+    if periodic is None:
+        pattern = timing.meta.get("pattern")
+        periodic = bool(getattr(pattern, "periodic", False))
+
+    starts = timing.wait_start()
+    limit = timing.n_ranks - 1 if periodic else timing.n_ranks
+    if max_hops is not None:
+        limit = min(limit, max_hops)
+
+    hops: list[int] = []
+    ranks: list[int] = []
+    times: list[float] = []
+    steps: list[int] = []
+    amps: list[float] = []
+
+    prev_arrival_step = -1
+    for hop in range(1, limit + 1):
+        rank = _hop_rank(source, hop, direction, timing.n_ranks, periodic)
+        if rank is None:
+            break
+        # Arrival: first above-threshold idle at/after the previous arrival
+        # step (the front cannot move backwards in step index).
+        row = timing.idle[rank]
+        candidates = np.nonzero(row > threshold)[0]
+        candidates = candidates[candidates >= prev_arrival_step]
+        if candidates.size == 0:
+            break
+        k = int(candidates[0])
+        hops.append(hop)
+        ranks.append(rank)
+        times.append(float(starts[rank, k]))
+        steps.append(k)
+        amps.append(float(row[k]))
+        prev_arrival_step = k
+
+    return WaveFront(
+        source=source,
+        hops=np.asarray(hops, dtype=int),
+        ranks=np.asarray(ranks, dtype=int),
+        arrival_times=np.asarray(times, dtype=float),
+        arrival_steps=np.asarray(steps, dtype=int),
+        amplitudes=np.asarray(amps, dtype=float),
+    )

@@ -1,0 +1,170 @@
+"""Wall-clock wave tracking: leading and trailing edges.
+
+Sec. IV-C of the paper distinguishes the *leading* slope of an idle wave
+(noise-insensitive) from the *trailing* slope ("strongly influenced" by
+noise, because "system noise and past delays ... mainly interact with the
+trailing edge").  The :func:`~repro.core.idle_wave.wave_front` analysis
+measures arrivals only; this module samples the wave's full spatial
+footprint at wall-clock instants — in the geometry of the paper's
+rank/time diagrams, where a delay of ``D`` seconds keeps ``~D / (T_exec +
+T_comm)`` consecutive ranks idle *simultaneously* — so both edges, the
+width, and the idle mass can be followed through time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.idle_wave import default_threshold
+from repro.core.timing import RunTiming
+
+__all__ = ["WaveSnapshot", "WaveTrack", "track_wave"]
+
+
+@dataclass(frozen=True)
+class WaveSnapshot:
+    """The wave's footprint at one wall-clock instant.
+
+    Hops are distances from the source in the tracked direction (1 = the
+    nearest neighbor), which unwraps periodic chains.
+    """
+
+    time: float
+    hops: tuple[int, ...]  # hop distances currently idling above threshold
+    idle_remaining: float  # summed remaining idle seconds over the footprint
+
+    @property
+    def width(self) -> int:
+        """Number of ranks simultaneously idled by the wave."""
+        return len(self.hops)
+
+    @property
+    def leading_hop(self) -> int:
+        return max(self.hops)
+
+    @property
+    def trailing_hop(self) -> int:
+        return min(self.hops)
+
+
+@dataclass(frozen=True)
+class WaveTrack:
+    """The wave's evolution over the sampled instants where it was visible."""
+
+    source: int
+    direction: int
+    snapshots: tuple[WaveSnapshot, ...]
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self.snapshots])
+
+    def leading_positions(self) -> np.ndarray:
+        return np.array([s.leading_hop for s in self.snapshots])
+
+    def trailing_positions(self) -> np.ndarray:
+        return np.array([s.trailing_hop for s in self.snapshots])
+
+    def widths(self) -> np.ndarray:
+        return np.array([s.width for s in self.snapshots])
+
+    def idle_masses(self) -> np.ndarray:
+        return np.array([s.idle_remaining for s in self.snapshots])
+
+    def edge_speeds(self) -> tuple[float, float]:
+        """(leading, trailing) edge speeds in ranks/s (least-squares fits).
+
+        Fitted over the steady growth window — after the birth transient
+        (the trailing edge sits at hop 1 while the source absorbs the
+        delay) and before the leading edge saturates (chain end or ring
+        antipode).  On a noise-free system both equal Eq. 2's ``v_silent``
+        — the wave translates rigidly.  Under noise the trailing edge moves
+        *faster* than the leading edge: the wave shrinks from behind,
+        exactly the paper's erosion mechanism.
+        """
+        if len(self.snapshots) < 3:
+            raise ValueError("need at least three visible snapshots to fit edge speeds")
+        t = self.times()
+
+        def fit(pos: np.ndarray) -> float:
+            # Each edge gets its own motion window: from its departure (the
+            # trailing edge sits at hop 1 until the source's delay has
+            # drained there) to its saturation (chain end / ring antipode).
+            moving = np.nonzero(pos > pos[0])[0]
+            i0 = int(moving[0]) if moving.size else 0
+            saturated = np.nonzero(pos == pos.max())[0]
+            i1 = int(saturated[0]) + 1 if saturated.size else len(pos)
+            if i1 - i0 < 3:
+                i0, i1 = 0, len(pos)  # degenerate track: fit everything
+            return float(np.polyfit(t[i0:i1], pos[i0:i1], 1)[0])
+
+        return fit(self.leading_positions()), fit(self.trailing_positions())
+
+
+def track_wave(
+    run,
+    source: int,
+    direction: int = +1,
+    threshold: float | None = None,
+    periodic: bool | None = None,
+    n_samples: int = 120,
+) -> WaveTrack:
+    """Sample the idle wave's wall-clock footprint on one side of the source.
+
+    At each sampled instant, a hop belongs to the footprint when its rank
+    is inside an above-threshold wait interval.  On periodic chains only
+    hops up to the antipode are followed (the branch moving in the
+    requested direction).  Sampling covers the whole run; empty snapshots
+    before the wave's birth and after its death are dropped.
+    """
+    if direction not in (+1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    if n_samples < 2:
+        raise ValueError(f"n_samples must be >= 2, got {n_samples}")
+    timing = RunTiming.of(run)
+    if not 0 <= source < timing.n_ranks:
+        raise IndexError(f"source rank {source} out of range [0, {timing.n_ranks})")
+    if threshold is None:
+        threshold = default_threshold(timing)
+    if periodic is None:
+        pattern = timing.meta.get("pattern")
+        periodic = bool(getattr(pattern, "periodic", False))
+
+    max_hops = timing.n_ranks // 2 if periodic else (
+        timing.n_ranks - 1 - source if direction > 0 else source
+    )
+    wait_start = timing.wait_start()
+    completion = timing.completion
+    idle = timing.idle
+
+    # Collect each tracked rank's above-threshold wait intervals once.
+    intervals: list[tuple[int, np.ndarray, np.ndarray]] = []  # (hop, starts, ends)
+    for hop in range(1, max_hops + 1):
+        rank = (source + direction * hop) % timing.n_ranks if periodic else (
+            source + direction * hop
+        )
+        mask = idle[rank] > threshold
+        if mask.any():
+            intervals.append((hop, wait_start[rank][mask], completion[rank][mask]))
+
+    total = timing.total_runtime()
+    sample_times = np.linspace(0.0, total, n_samples)
+    snapshots: list[WaveSnapshot] = []
+    for t in sample_times:
+        hops_here: list[int] = []
+        remaining = 0.0
+        for hop, starts, ends in intervals:
+            inside = (starts <= t) & (t < ends)
+            if inside.any():
+                hops_here.append(hop)
+                remaining += float((ends[inside] - t).sum())
+        if hops_here:
+            snapshots.append(
+                WaveSnapshot(time=float(t), hops=tuple(hops_here),
+                             idle_remaining=remaining)
+            )
+    return WaveTrack(source=source, direction=direction, snapshots=tuple(snapshots))

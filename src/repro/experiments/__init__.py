@@ -1,0 +1,54 @@
+"""Experiment drivers — one per paper figure plus the Eq. 2 sweep.
+
+Each module exposes ``run(fast=True, seed=0) -> ExperimentResult``.  The
+registry maps experiment ids to those entry points; the CLI and the
+benchmark harness both resolve through it.
+"""
+
+from typing import Callable
+
+from repro.experiments import (
+    eq2_speed_model,
+    ext_campaign,
+    ext_collectives,
+    ext_hybrid,
+    ext_membound,
+    fig1_stream_scaling,
+    fig2_lbm_timeline,
+    fig3_noise_histograms,
+    fig4_basic_propagation,
+    fig5_flavors,
+    fig6_interaction,
+    fig7_speed_d2,
+    fig8_decay_rate,
+    fig9_elimination,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_stream_scaling.run,
+    "fig2": fig2_lbm_timeline.run,
+    "fig3": fig3_noise_histograms.run,
+    "fig4": fig4_basic_propagation.run,
+    "fig5": fig5_flavors.run,
+    "fig6": fig6_interaction.run,
+    "fig7": fig7_speed_d2.run,
+    "eq2": eq2_speed_model.run,
+    "fig8": fig8_decay_rate.run,
+    "fig9": fig9_elimination.run,
+    # Extensions: the paper's Sec. VII future-work directions.
+    "ext_campaign": ext_campaign.run,
+    "ext_collectives": ext_collectives.run,
+    "ext_hybrid": ext_hybrid.run,
+    "ext_membound": ext_membound.run,
+}
+
+
+def run_experiment(name: str, fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id ("fig1" .. "fig9", "eq2")."""
+    key = name.strip().lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](fast=fast, seed=seed)

@@ -1,0 +1,108 @@
+"""Extension experiment: idle waves in memory-bound code (paper outlook).
+
+The paper restricts its propagation analysis to core-bound execution and
+names memory-bound code as future work, because saturation "bear[s] a
+strong potential for desynchronization and, thus, better utilization of the
+memory bandwidth".  This experiment injects the canonical one-off delay
+into a *data-bound* lockstep run on the saturation simulator and contrasts
+it with the core-bound baseline:
+
+- core-bound: the wave propagates at Eq. 2's speed and the excess runtime
+  equals the delay;
+- memory-bound (saturated socket): the ranks behind the wave temporarily
+  stream with less contention, run faster than the lockstep share, and
+  claw back part of the delay — the excess runtime drops below the
+  injected delay even *without* noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timing import RunTiming
+from repro.experiments.base import ExperimentResult
+from repro.sim import CommPattern, DelaySpec, Direction
+from repro.sim.saturation import SaturationConfig, simulate_saturation
+from repro.sim.topology import single_switch_mapping
+from repro.viz.tables import format_table
+
+__all__ = ["run"]
+
+N_RANKS = 20  # one full node: two sockets of ten
+N_STEPS = 25
+DELAY = 30e-3
+
+
+def _config(work_bytes: float, b_core: float, b_socket: float, delays=()):
+    return SaturationConfig(
+        mapping=single_switch_mapping(N_RANKS, ppn=20),
+        n_steps=N_STEPS,
+        work_bytes=work_bytes,
+        b_core=b_core,
+        b_socket=b_socket,
+        pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1, periodic=True),
+        t_flight=5e-6,
+        o_post=1e-6,
+        delays=tuple(delays),
+    )
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Contrast delay impact between scalable and saturated regimes."""
+    delay = (DelaySpec(rank=4, step=0, duration=DELAY),)
+
+    # Core-bound stand-in: per-core bandwidth is the binding limit
+    # (10 * b_core << b_socket), so execution scales and phases are fixed.
+    scalable = dict(work_bytes=6.5e6, b_core=6.5e9, b_socket=1e12)
+    # Memory-bound: ten ranks per socket against a saturated interface.
+    saturated = dict(work_bytes=40e6, b_core=6.5e9, b_socket=40e9)
+
+    rows = []
+    data = {}
+    for label, params in (("core-bound (scalable)", scalable),
+                          ("memory-bound (saturated)", saturated)):
+        base = RunTiming.of(simulate_saturation(_config(**params)))
+        delayed_res = simulate_saturation(_config(**params, delays=delay))
+        delayed = RunTiming.of(delayed_res)
+        excess = delayed.total_runtime() - base.total_runtime()
+
+        # Execution-phase durations behind the wave: do ranks speed up?
+        durations = delayed_res.exec_end - delayed_res.exec_start
+        base_phase = float(np.median(durations[:, 0]))
+        fastest_phase = float(durations[:, 1:].min())
+        rows.append(
+            (label, base.total_runtime() * 1e3, excess * 1e3,
+             excess / DELAY * 100, base_phase * 1e3, fastest_phase * 1e3)
+        )
+        data[label] = {
+            "excess": excess,
+            "excess_fraction": excess / DELAY,
+            "base_phase": base_phase,
+            "fastest_phase": fastest_phase,
+        }
+
+    table = format_table(
+        ["regime", "base runtime [ms]", "excess [ms]", "excess/delay [%]",
+         "typical phase [ms]", "fastest phase [ms]"],
+        rows,
+    )
+
+    cb = data["core-bound (scalable)"]
+    mb = data["memory-bound (saturated)"]
+    notes = [
+        f"Core-bound: excess = {cb['excess_fraction'] * 100:.0f}% of the delay "
+        "(nothing can be overlapped; Eq. 2 world).",
+        f"Memory-bound: excess = {mb['excess_fraction'] * 100:.0f}% — ranks "
+        "streaming while their neighbors idle get more bandwidth "
+        f"(fastest phase {mb['fastest_phase'] * 1e3:.2f} ms vs typical "
+        f"{mb['base_phase'] * 1e3:.2f} ms) and absorb part of the delay.",
+        "This is the outlook's 'potential for desynchronization and better "
+        "utilization of the memory bandwidth', realized without any noise.",
+    ]
+    return ExperimentResult(
+        name="ext_membound",
+        title="Extension: idle-wave impact in memory-bound vs core-bound code",
+        tables={"regimes": table},
+        data=data,
+        notes=notes,
+    )

@@ -1,0 +1,93 @@
+"""Fig. 3 — natural system-noise histograms of the two clusters.
+
+The paper measures the execution-time deviation of an exactly-known
+compute-bound phase (3 ms of back-to-back ``vdivpd``) over 3.3·10⁵ samples,
+with SMT on and off, on both systems:
+
+- SMT **on**: both systems unimodal; mean delays 2.4 µs (Emmy/InfiniBand)
+  and 2.8 µs (Meggie/Omni-Path), maxima < 30 µs; 640 ns bins.
+- SMT **off**: Meggie becomes *bimodal* with a distinctive second peak at
+  ≈ 660 µs (Omni-Path driver); 7.2 µs bins.
+
+We regenerate the histograms from the calibrated noise models of the
+machine presets.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.histogram import NoiseHistogram, collect_noise_samples
+from repro.cluster import EMMY, MEGGIE
+from repro.experiments.base import ExperimentResult
+from repro.viz.tables import format_table
+
+__all__ = ["run"]
+
+#: Paper sample count and bin widths.
+N_SAMPLES_FULL = 330_000
+BIN_SMT_ON = 640e-9
+BIN_SMT_OFF = 7.2e-6
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate the four Fig. 3 histograms and their summary statistics."""
+    n_samples = 60_000 if fast else N_SAMPLES_FULL
+
+    configs = [
+        ("Emmy (InfiniBand)", "SMT on", EMMY.noise_smt_on, BIN_SMT_ON),
+        ("Meggie (Omni-Path)", "SMT on", MEGGIE.noise_smt_on, BIN_SMT_ON),
+        ("Emmy (InfiniBand)", "SMT off", EMMY.noise_smt_off, BIN_SMT_OFF),
+        ("Meggie (Omni-Path)", "SMT off", MEGGIE.noise_smt_off, BIN_SMT_OFF),
+    ]
+
+    rows = []
+    hists: dict[str, NoiseHistogram] = {}
+    for i, (system, smt, noise, bin_width) in enumerate(configs):
+        samples = collect_noise_samples(noise, n_samples, seed=seed + i)
+        hist = NoiseHistogram.from_samples(samples, bin_width)
+        modes = hist.modes(min_separation=100e-6)
+        key = f"{system} / {smt}"
+        hists[key] = hist
+        rows.append(
+            (
+                system,
+                smt,
+                hist.mean * 1e6,
+                hist.maximum * 1e6,
+                len(modes),
+                modes[1] * 1e6 if len(modes) > 1 else float("nan"),
+            )
+        )
+
+    table = format_table(
+        ["system", "SMT", "mean delay [µs]", "max delay [µs]", "#modes",
+         "2nd mode [µs]"],
+        rows,
+    )
+
+    tables = {"summary": table}
+    if not fast:
+        from repro.viz.ascii_histogram import render_histogram
+
+        for key, hist in hists.items():
+            tables[f"histogram: {key}"] = render_histogram(hist, max_rows=16)
+
+    meggie_off = hists["Meggie (Omni-Path) / SMT off"]
+    notes = [
+        "Paper: SMT-on means 2.4 µs (Emmy) and 2.8 µs (Meggie), maxima < 30 µs.",
+        f"Reproduced SMT-on means: {hists['Emmy (InfiniBand) / SMT on'].mean * 1e6:.1f} µs, "
+        f"{hists['Meggie (Omni-Path) / SMT on'].mean * 1e6:.1f} µs.",
+        "Paper: Meggie SMT-off is bimodal with a second peak at ~660 µs "
+        "(Omni-Path driver).",
+        f"Reproduced: bimodal={meggie_off.is_bimodal(min_separation=100e-6)}, "
+        f"second mode at "
+        f"{meggie_off.modes(min_separation=100e-6)[1] * 1e6:.0f} µs."
+        if meggie_off.is_bimodal(min_separation=100e-6)
+        else "Reproduced: bimodality NOT detected (check calibration).",
+    ]
+    return ExperimentResult(
+        name="fig3",
+        title="Natural system-noise histograms (both systems, SMT on/off)",
+        tables=tables,
+        data={"histograms": hists, "n_samples": n_samples},
+        notes=notes,
+    )

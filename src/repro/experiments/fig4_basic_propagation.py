@@ -1,0 +1,101 @@
+"""Fig. 4 — the delay-propagation mechanism in the simplest setting.
+
+Eager-mode, unidirectional next-neighbor communication, one process per
+node, no noise.  A delay of 4.5 execution phases is injected at rank 5 in
+the first time step; the resulting idle wave ripples up the chain at one
+rank per execution-plus-communication phase, while ranks below 5 are
+unaffected (the eager protocol lets them "get rid of their messages").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import default_threshold, measure_speed, silent_speed, wave_front
+from repro.core.timing import RunTiming
+from repro.experiments.base import ExperimentResult
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    LockstepConfig,
+    SimConfig,
+    UniformNetwork,
+    build_lockstep_program,
+    simulate,
+)
+from repro.sim.topology import CommDomain
+from repro.viz.ascii_timeline import render_timeline
+from repro.viz.tables import format_table
+
+__all__ = ["run", "DELAY_PHASES", "SOURCE_RANK"]
+
+DELAY_PHASES = 4.5
+SOURCE_RANK = 5
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Fig. 4 timeline and its quantitative checks."""
+    t_exec = 3e-3
+    n_ranks = 9 if fast else 18
+    n_steps = 12 if fast else 20
+    net = UniformNetwork()
+
+    cfg = LockstepConfig(
+        n_ranks=n_ranks,
+        n_steps=n_steps,
+        t_exec=t_exec,
+        msg_size=8192,  # paper's standard message size (eager)
+        pattern=CommPattern(direction=Direction.UNIDIRECTIONAL, distance=1, periodic=False),
+        delays=(DelaySpec(rank=SOURCE_RANK, step=0, duration=DELAY_PHASES * t_exec),),
+        seed=seed,
+    )
+    trace = simulate(build_lockstep_program(cfg), SimConfig(network=net))
+    timing = RunTiming.of(trace)
+
+    threshold = default_threshold(timing)
+    front = wave_front(trace, source=SOURCE_RANK, direction=+1, threshold=threshold)
+    down = wave_front(trace, source=SOURCE_RANK, direction=-1, threshold=threshold)
+    speed = measure_speed(trace, source=SOURCE_RANK, threshold=threshold)
+
+    t_comm = net.total_pingpong_time(cfg.msg_size, CommDomain.INTER_NODE)
+    v_model = silent_speed(t_exec, t_comm)
+
+    rows = [
+        (int(h), int(r), t * 1e3, a * 1e3)
+        for h, r, t, a in zip(
+            front.hops, front.ranks, front.arrival_times, front.amplitudes
+        )
+    ]
+    arrivals = format_table(
+        ["hop", "rank", "arrival [ms]", "idle duration [ms]"], rows
+    )
+
+    notes = [
+        f"Measured wave speed {speed.speed:.1f} ranks/s vs Eq. 2 "
+        f"{v_model:.1f} ranks/s (error {abs(speed.speed - v_model) / v_model * 100:.2f}%).",
+        f"Ranks below the injection are unaffected (eager): downward reach = "
+        f"{down.reach} ranks.",
+        f"Idle duration stays ~= the injected delay "
+        f"({DELAY_PHASES * t_exec * 1e3:.1f} ms) at every hop: "
+        f"{front.amplitudes.min() * 1e3:.2f}..{front.amplitudes.max() * 1e3:.2f} ms "
+        "(no decay without noise).",
+        f"Communication accounts for {t_comm / (t_comm + t_exec) * 100:.2f}% of a "
+        "phase (paper: ~0.2%).",
+    ]
+    return ExperimentResult(
+        name="fig4",
+        title="Basic idle-wave propagation (eager, unidirectional, noise-free)",
+        tables={
+            "timeline (rank/time; D=delay, #=idle)": render_timeline(trace, width=96),
+            "wave-front arrivals": arrivals,
+        },
+        data={
+            "speed": speed.speed,
+            "model_speed": v_model,
+            "front": front,
+            "downward_reach": down.reach,
+            "threshold": threshold,
+        },
+        notes=notes,
+    )

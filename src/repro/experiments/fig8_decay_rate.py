@@ -1,0 +1,127 @@
+"""Fig. 8 — decay rate of an idle wave vs. injected noise level.
+
+A long delay (90 ms ≈ 30 execution phases) is injected on one rank; on top
+of the machine's natural noise, exponentially distributed application noise
+with mean relative level ``E`` (Eq. 3) is added to every execution phase.
+The wave's amplitude (idle duration) decreases as it travels; the average
+decay rate β̄ (µs per rank) is measured from the wave front and reported
+as median/min/max over repeated runs, for three systems:
+
+- the InfiniBand cluster model (Emmy; natural noise included),
+- the Omni-Path cluster model (Meggie; bimodal natural noise),
+- the pure simulated system (no natural noise) — the LogGOPSim analogue.
+
+Expected shape: β̄ grows with E, and "the decay rate is independent of the
+existing system noise" (the three series coincide within statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.statistics import RunStatistics
+from repro.cluster import EMMY, MEGGIE, SIMULATED, MachineSpec
+from repro.core import measure_decay
+from repro.experiments.base import ExperimentResult
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    ExponentialNoise,
+    LockstepConfig,
+    NoiseModel,
+    simulate_lockstep,
+)
+from repro.sim.noise import NoNoise
+from repro.viz.tables import format_table
+
+__all__ = ["run", "decay_for", "DELAY_DURATION"]
+
+T_EXEC = 3e-3
+MSG_SIZE = 8192
+DELAY_DURATION = 90e-3  # the paper's "long delays of 90 ms"
+N_RANKS = 60
+N_STEPS = 70
+SOURCE = 0
+
+
+class _CompositeNoise(NoiseModel):
+    """Sum of natural (machine) and injected (application) noise."""
+
+    def __init__(self, natural: NoiseModel, injected: NoiseModel) -> None:
+        self.natural = natural
+        self.injected = injected
+
+    def sample(self, rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+        return self.natural.sample(rng, shape) + self.injected.sample(rng, shape)
+
+    def mean(self) -> float:
+        return self.natural.mean() + self.injected.mean()
+
+
+def decay_for(machine: MachineSpec, E: float, seed: int) -> float:
+    """Measure β̄ (seconds/rank) for one machine, noise level, and seed."""
+    injected = ExponentialNoise(E * T_EXEC) if E > 0 else NoNoise()
+    noise = _CompositeNoise(machine.natural_noise, injected)
+    cfg = LockstepConfig(
+        n_ranks=N_RANKS,
+        n_steps=N_STEPS,
+        t_exec=T_EXEC,
+        msg_size=MSG_SIZE,
+        pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1, periodic=True),
+        delays=(DelaySpec(rank=SOURCE, step=0, duration=DELAY_DURATION),),
+        noise=noise,
+        seed=seed,
+    )
+    res = simulate_lockstep(cfg)
+    meas = measure_decay(res, SOURCE, direction=+1, periodic=True)
+    return meas.beta
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Fig. 8 decay-rate-vs-noise data."""
+    levels = (0.02, 0.05, 0.10) if fast else (0.01, 0.02, 0.04, 0.06, 0.08, 0.10)
+    n_runs = 5 if fast else 15
+    systems = (("InfiniBand (Emmy)", EMMY), ("Omni-Path (Meggie)", MEGGIE),
+               ("Simulated", SIMULATED))
+
+    rows = []
+    data: dict[str, list[dict]] = {}
+    for sys_name, machine in systems:
+        series = []
+        for E in levels:
+            betas = [decay_for(machine, E, seed + r) for r in range(n_runs)]
+            stats = RunStatistics.from_samples(betas)
+            rows.append(
+                (sys_name, E * 100, stats.median * 1e6, stats.minimum * 1e6,
+                 stats.maximum * 1e6)
+            )
+            series.append({"E": E, "stats": stats})
+        data[sys_name] = series
+
+    table = format_table(
+        ["system", "E [%]", "median β̄ [µs/rank]", "min", "max"], rows
+    )
+
+    # Positive correlation check per system (Spearman-like sign test).
+    monotone = {}
+    for sys_name, series in data.items():
+        medians = [s["stats"].median for s in series]
+        monotone[sys_name] = all(b >= a for a, b in zip(medians, medians[1:]))
+
+    notes = [
+        "Paper: 'clear positive correlation between the noise level and the "
+        f"decay rate'. Reproduced monotonicity: {monotone}.",
+        "Paper: 'the decay rate is independent of the existing system noise' "
+        "— the three series should coincide within their min/max spread.",
+        f"Injected delay {DELAY_DURATION * 1e3:.0f} ms; β̄ measured along the "
+        "forward wave front on a periodic 60-rank chain.",
+    ]
+    return ExperimentResult(
+        name="fig8",
+        title="Idle-wave decay rate vs. injected exponential noise level",
+        tables={"decay rates": table},
+        data={"series": data, "levels": levels, "n_runs": n_runs,
+              "monotone": monotone},
+        notes=notes,
+    )

@@ -1,0 +1,121 @@
+"""Fig. 9 — elimination of an idle period by noise.
+
+Six processes per socket on six sockets (36 ranks, three nodes); an idle
+wave with a length of four execution periods (6 ms, so T_exec = 1.5 ms) is
+injected at time step 1 on rank 1; 30 time steps.  Exponential noise of
+mean relative level E ∈ {0 %, 20 %, 25 %} is injected into every phase.
+
+Paper's measured totals: 51.1 ms (E=0), 82.7 ms (E=20 %), 84.6 ms (E=25 %).
+At E = 0 the excess runtime equals the injected delay; at E = 25 % the
+excess vanishes — the noise has absorbed the wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import elimination_scan, runtime_spread
+from repro.experiments.base import ExperimentResult
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    LockstepConfig,
+    simulate_lockstep,
+)
+from repro.sim.noise import exponential_for_level
+from repro.viz.ascii_timeline import render_idle_heatmap
+from repro.viz.tables import format_table
+
+__all__ = ["run", "make_base_config", "T_EXEC", "DELAY"]
+
+T_EXEC = 1.5e-3
+DELAY = 4 * T_EXEC  # "an idle wave with a length of four execution periods (6 ms)"
+N_RANKS = 36  # six processes per socket on six sockets
+N_STEPS = 30
+SOURCE = 1
+
+#: Paper's measured total runtimes for the three noise levels (seconds).
+PAPER_TOTALS = {0.0: 51.1e-3, 0.20: 82.7e-3, 0.25: 84.6e-3}
+
+
+def make_base_config(seed: int = 0) -> LockstepConfig:
+    """The Fig. 9 configuration (delay included, noise set per scan point)."""
+    return LockstepConfig(
+        n_ranks=N_RANKS,
+        n_steps=N_STEPS,
+        t_exec=T_EXEC,
+        msg_size=8192,
+        pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1, periodic=True),
+        delays=(DelaySpec(rank=SOURCE, step=0, duration=DELAY),),
+        seed=seed,
+    )
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate the Fig. 9 elimination data."""
+    levels = (0.0, 0.20, 0.25)
+    base = make_base_config(seed=seed)
+    points = elimination_scan(base, levels)
+    n_spread_runs = 6 if fast else 12
+
+    rows = []
+    observable = {}
+    for pt in points:
+        paper = PAPER_TOTALS.get(pt.E)
+        spread = (
+            runtime_spread(base, pt.E, n_runs=n_spread_runs, seed0=seed + 100)
+            if pt.E > 0
+            else 0.0
+        )
+        # The paper judges elimination from single runs: an excess below the
+        # run-to-run spread is unobservable.
+        observable[pt.E] = pt.excess > 2 * spread
+        rows.append(
+            (
+                pt.E * 100,
+                pt.runtime_with_delay * 1e3,
+                pt.runtime_without_delay * 1e3,
+                pt.excess * 1e3,
+                pt.excess_fraction(DELAY) * 100,
+                spread * 1e3,
+                "yes" if observable[pt.E] else "no",
+                paper * 1e3 if paper is not None else float("nan"),
+            )
+        )
+    table = format_table(
+        ["E [%]", "t_total [ms]", "t_no-delay [ms]", "excess [ms]",
+         "excess/delay [%]", "run-to-run σ [ms]", "observable?",
+         "paper t_total [ms]"],
+        rows,
+    )
+
+    tables = {"elimination scan": table}
+    if not fast:
+        for pt, label in zip(points, ("E=0%", "E=20%", "E=25%")):
+            noise = exponential_for_level(pt.E, T_EXEC) if pt.E > 0 else base.noise
+            cfg = replace(base, noise=noise)
+            tables[f"idle map {label}"] = render_idle_heatmap(simulate_lockstep(cfg))
+
+    e0, e25 = points[0], points[-1]
+    notes = [
+        f"E=0: excess runtime {e0.excess * 1e3:.2f} ms ~= injected delay "
+        f"{DELAY * 1e3:.1f} ms (paper: roughly equal to the injected delay).",
+        f"E=25%: seed-matched excess {e25.excess * 1e3:.2f} ms "
+        f"({e25.excess_fraction(DELAY) * 100:.0f}% of the delay); "
+        f"observable above run-to-run variation: {observable[0.25]}.",
+        "The paper judges from single runs, where an excess below the "
+        "run-to-run spread reads as 'no excess runtime'; our seed-matched "
+        "twin-run metric still resolves the residual.",
+        "Total runtime grows with E (noise is not free); only the *delay's* "
+        "contribution fades.",
+        f"Paper totals for reference: {', '.join(f'{k * 100:.0f}%: {v * 1e3:.1f} ms' for k, v in PAPER_TOTALS.items())}.",
+    ]
+    return ExperimentResult(
+        name="fig9",
+        title="Idle-period elimination by exponential noise (E = 0/20/25 %)",
+        tables=tables,
+        data={"points": points, "delay": DELAY, "paper_totals": PAPER_TOTALS,
+              "observable": observable},
+        notes=notes,
+    )

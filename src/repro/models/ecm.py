@@ -1,0 +1,101 @@
+"""Simplified Execution-Cache-Memory (ECM) model.
+
+The ECM model (Stengel et al. 2015, Hofmann et al. 2018) refines Roofline by
+composing the runtime of one cache line's worth of work from in-core
+execution and the transfer times through the cache hierarchy.  We implement
+the classic non-overlapping-transfers variant for multicore scaling:
+
+``T_core-line = max(T_OL, T_nOL + T_L1L2 + T_L2L3 + T_L3Mem)``
+
+with multicore performance ``P(n) = min(n * P_single, P_roof)`` where the
+roof is set by the memory bottleneck.  The paper cites ECM as the second
+analytic node-level model; we use it to predict the single-core STREAM triad
+performance feeding the Fig. 1 model lines and the saturation simulator's
+``b_core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ECMModel"]
+
+
+@dataclass(frozen=True)
+class ECMModel:
+    """ECM runtime composition for one unit of steady-state loop work.
+
+    All contributions are in **cycles per cache line (CL)** of processed
+    data, following the standard ECM notation:
+
+    Parameters
+    ----------
+    t_ol:
+        Overlapping in-core execution (arithmetic) cycles per CL.
+    t_nol:
+        Non-overlapping in-core cycles (loads/stores issue) per CL.
+    t_l1l2, t_l2l3, t_l3mem:
+        Data-transfer cycles per CL between adjacent memory hierarchy
+        levels.
+    clock_hz:
+        Core clock frequency.
+    cacheline_bytes:
+        Cache line size (64 B on the paper's systems).
+    """
+
+    t_ol: float
+    t_nol: float
+    t_l1l2: float
+    t_l2l3: float
+    t_l3mem: float
+    clock_hz: float = 2.2e9
+    cacheline_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("t_ol", "t_nol", "t_l1l2", "t_l2l3", "t_l3mem"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be > 0, got {self.clock_hz}")
+        if self.cacheline_bytes <= 0:
+            raise ValueError(f"cacheline_bytes must be > 0, got {self.cacheline_bytes}")
+
+    # ------------------------------------------------------------------
+    def cycles_per_cl_memory(self) -> float:
+        """Single-core cycles per cache line with data coming from memory."""
+        return max(self.t_ol, self.t_nol + self.t_l1l2 + self.t_l2l3 + self.t_l3mem)
+
+    def single_core_bandwidth(self) -> float:
+        """Effective single-core memory bandwidth in bytes/s."""
+        cycles = self.cycles_per_cl_memory()
+        if cycles == 0:
+            raise ValueError("ECM model with zero cycles per CL has no finite bandwidth")
+        return self.cacheline_bytes * self.clock_hz / cycles
+
+    def single_core_runtime(self, bytes_total: float) -> float:
+        """Seconds one core needs to stream ``bytes_total`` from memory."""
+        if bytes_total < 0:
+            raise ValueError(f"bytes_total must be >= 0, got {bytes_total}")
+        return bytes_total / self.single_core_bandwidth()
+
+    def multicore_runtime(self, bytes_total: float, cores: int, b_socket: float) -> float:
+        """Seconds for ``cores`` cores sharing a socket of bandwidth ``b_socket``.
+
+        ECM multicore scaling: linear until the socket bandwidth roof.
+        """
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if b_socket <= 0:
+            raise ValueError(f"b_socket must be > 0, got {b_socket}")
+        effective_bw = min(cores * self.single_core_bandwidth(), b_socket)
+        return bytes_total / effective_bw
+
+    def saturation_cores(self, b_socket: float) -> int:
+        """Cores needed to hit the socket bandwidth roof."""
+        if b_socket <= 0:
+            raise ValueError(f"b_socket must be > 0, got {b_socket}")
+        b1 = self.single_core_bandwidth()
+        cores = 1
+        while cores * b1 < b_socket:
+            cores += 1
+        return cores

@@ -1,0 +1,115 @@
+"""LogP / LogGP / LogGOPS parameter sets.
+
+LogGOPSim — the simulator the paper validates against — speaks the LogGOPS
+model: latency ``L``, CPU overhead ``o``, per-message gap ``g``, per-byte
+gap ``G``, per-byte overhead ``O``, rendezvous threshold ``S``, processors
+``P``.  These dataclasses document the parameters, provide message-time
+evaluation, and convert to the simulator's network models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.network import UniformNetwork
+
+__all__ = ["LogPParams", "LogGPParams", "LogGOPSParams"]
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """The original LogP model (Culler et al. 1993) for short messages."""
+
+    L: float  # network latency (s)
+    o: float  # CPU overhead per message (s)
+    g: float  # gap between consecutive messages (s)
+    P: int  # number of processors
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g) < 0:
+            raise ValueError("L, o, g must be >= 0")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+
+    def message_time(self) -> float:
+        """End-to-end time of one short message: o + L + o."""
+        return 2 * self.o + self.L
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """LogGP (Alexandrov et al.): adds the per-byte gap ``G``."""
+
+    L: float
+    o: float
+    g: float
+    G: float  # per-byte gap (s/byte), i.e. 1/bandwidth
+    P: int
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g, self.G) < 0:
+            raise ValueError("L, o, g, G must be >= 0")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+
+    def message_time(self, size_bytes: int) -> float:
+        """End-to-end time of a ``size_bytes`` message: o + L + (s-1)G + o."""
+        if size_bytes < 1:
+            raise ValueError(f"size_bytes must be >= 1, got {size_bytes}")
+        return 2 * self.o + self.L + (size_bytes - 1) * self.G
+
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth in bytes/s."""
+        if self.G == 0:
+            return float("inf")
+        return 1.0 / self.G
+
+
+@dataclass(frozen=True)
+class LogGOPSParams:
+    """LogGOPS (Hoefler et al., LogGOPSim 2010): adds per-byte overhead ``O``
+    and the rendezvous threshold ``S``."""
+
+    L: float
+    o: float
+    g: float
+    G: float
+    O: float  # per-byte CPU overhead (s/byte)
+    S: int  # rendezvous threshold (bytes)
+    P: int
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g, self.G, self.O) < 0:
+            raise ValueError("L, o, g, G, O must be >= 0")
+        if self.S < 0:
+            raise ValueError(f"S must be >= 0, got {self.S}")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+
+    def overhead_time(self, size_bytes: int) -> float:
+        """CPU time consumed on either side of a message."""
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        return self.o + size_bytes * self.O
+
+    def message_time(self, size_bytes: int) -> float:
+        """One-way message cost (eager path)."""
+        if size_bytes < 1:
+            raise ValueError(f"size_bytes must be >= 1, got {size_bytes}")
+        return 2 * self.overhead_time(size_bytes) + self.L + (size_bytes - 1) * self.G
+
+    def is_rendezvous(self, size_bytes: int) -> bool:
+        """Whether a message of this size uses the rendezvous protocol."""
+        return size_bytes > self.S
+
+    def to_uniform_network(self) -> UniformNetwork:
+        """Project onto the simulator's uniform network model.
+
+        The flight-time part (L + sG) maps to latency+bandwidth; the CPU
+        part (o) maps to the per-message overhead.  The per-byte overhead
+        ``O`` is folded into the effective bandwidth, which is exact for
+        the non-overlapping bulk-synchronous programs simulated here.
+        """
+        per_byte = self.G + 2 * self.O
+        bandwidth = 1.0 / per_byte if per_byte > 0 else 1e30
+        return UniformNetwork(latency=self.L, bandwidth=bandwidth, overhead=self.o)

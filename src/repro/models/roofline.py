@@ -1,0 +1,84 @@
+"""Roofline model (Williams, Waterman, Patterson 2009).
+
+``P = min(P_peak, I * b_mem)`` — performance is capped either by in-core
+throughput or by memory bandwidth times arithmetic intensity.  The paper
+cites Roofline as the canonical node-level model whose assumptions idle
+waves and desynchronization undermine; we use it to produce the execution
+performance lines of Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RooflineModel"]
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Roofline prediction for a loop on a multicore contention domain.
+
+    Parameters
+    ----------
+    peak_flops:
+        In-core peak of one core, in flop/s.
+    mem_bandwidth:
+        Saturated memory bandwidth of the contention domain (socket), in
+        bytes/s.
+    """
+
+    peak_flops: float
+    mem_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError(f"peak_flops must be > 0, got {self.peak_flops}")
+        if self.mem_bandwidth <= 0:
+            raise ValueError(f"mem_bandwidth must be > 0, got {self.mem_bandwidth}")
+
+    def performance(self, intensity: float, cores: int = 1) -> float:
+        """Predicted performance in flop/s.
+
+        Parameters
+        ----------
+        intensity:
+            Arithmetic intensity in flop/byte of memory traffic.
+        cores:
+            Active cores in the contention domain (peak scales with cores,
+            bandwidth does not).
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        return min(cores * self.peak_flops, intensity * self.mem_bandwidth)
+
+    def runtime(self, flops: float, bytes_moved: float, cores: int = 1) -> float:
+        """Predicted runtime of a loop doing ``flops`` work over ``bytes_moved``.
+
+        Assumes perfect overlap of in-core work and data transfer —
+        whichever takes longer wins (the Roofline premise).
+        """
+        if flops < 0 or bytes_moved < 0:
+            raise ValueError("flops and bytes_moved must be >= 0")
+        t_core = flops / (cores * self.peak_flops)
+        t_mem = bytes_moved / self.mem_bandwidth
+        return max(t_core, t_mem)
+
+    def is_memory_bound(self, intensity: float, cores: int = 1) -> bool:
+        """True when the bandwidth ceiling is the binding constraint."""
+        return intensity * self.mem_bandwidth < cores * self.peak_flops
+
+    def saturation_cores(self, intensity: float) -> int:
+        """Smallest core count at which the loop saturates the bandwidth.
+
+        For memory-bound loops this is the paper's observation that "using
+        fewer than the maximum number of cores ... will usually not change
+        the performance" once saturation is reached.
+        """
+        if intensity <= 0:
+            raise ValueError(f"intensity must be > 0, got {intensity}")
+        cores = 1
+        while cores * self.peak_flops < intensity * self.mem_bandwidth:
+            cores += 1
+        return cores

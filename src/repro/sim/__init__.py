@@ -1,0 +1,109 @@
+"""Discrete-event simulation substrate for message-passing programs.
+
+This package provides everything needed to *simulate* the behaviour of an
+MPI-parallel bulk-synchronous program on a cluster, which is the substrate
+the paper's experiments run on:
+
+- :mod:`repro.sim.topology` — hierarchical machine topology (cores, sockets,
+  nodes) and the mapping of MPI ranks onto it.
+- :mod:`repro.sim.network` — transfer-time models (Hockney, LogGP) with
+  per-domain (intra-socket / inter-socket / inter-node) parameters.
+- :mod:`repro.sim.noise` — fine-grained noise generators (exponential per
+  Eq. 3 of the paper, bimodal, gamma, ...).
+- :mod:`repro.sim.delay` — one-off injected delays (the "strong delays" whose
+  propagation the paper studies).
+- :mod:`repro.sim.program` — construction of bulk-synchronous per-rank
+  operation sequences (compute / Isend / Irecv / Waitall).
+- :mod:`repro.sim.mpi` — message-matching and protocol (eager/rendezvous)
+  semantics.
+- :mod:`repro.sim.engine` — the authoritative static-DAG discrete-event
+  engine.
+- :mod:`repro.sim.lockstep` — a vectorized fast path for the standard
+  lockstep pattern, validated against the DAG engine.
+- :mod:`repro.sim.saturation` — processor-sharing simulation of shared
+  memory-bandwidth contention for data-bound workloads.
+- :mod:`repro.sim.trace` — trace records and timing matrices consumed by the
+  analysis layer in :mod:`repro.core`.
+"""
+
+from repro.sim.collectives import (
+    Collective,
+    CollectiveConfig,
+    build_collective_program,
+)
+from repro.sim.delay import DelaySpec, delays_at_local_rank, random_delays
+from repro.sim.engine import SimConfig, simulate
+from repro.sim.hybrid import HybridConfig, hybrid_exec_times, hybrid_lockstep_config
+from repro.sim.lockstep import LockstepResult, simulate_lockstep
+from repro.sim.mpi import Protocol, select_protocol
+from repro.sim.network import HockneyModel, LogGPModel, NetworkModel, UniformNetwork
+from repro.sim.noise import (
+    BimodalNoise,
+    ExponentialNoise,
+    GammaNoise,
+    NoiseModel,
+    NoNoise,
+    TraceNoise,
+    UniformNoise,
+)
+from repro.sim.program import (
+    CommPattern,
+    Direction,
+    LockstepConfig,
+    Op,
+    OpKind,
+    Program,
+    build_exec_times,
+    build_lockstep_program,
+)
+from repro.sim.saturation import SaturationConfig, simulate_saturation
+from repro.sim.topology import CommDomain, MachineTopology, ProcessMapping
+from repro.sim.trace import OpRecord, Trace
+from repro.sim.traceio import read_jsonl, write_csv, write_jsonl
+
+__all__ = [
+    "BimodalNoise",
+    "Collective",
+    "CollectiveConfig",
+    "CommDomain",
+    "CommPattern",
+    "DelaySpec",
+    "Direction",
+    "ExponentialNoise",
+    "GammaNoise",
+    "HockneyModel",
+    "HybridConfig",
+    "LockstepConfig",
+    "LockstepResult",
+    "LogGPModel",
+    "MachineTopology",
+    "NetworkModel",
+    "NoNoise",
+    "NoiseModel",
+    "Op",
+    "OpKind",
+    "OpRecord",
+    "ProcessMapping",
+    "Program",
+    "Protocol",
+    "SaturationConfig",
+    "SimConfig",
+    "Trace",
+    "TraceNoise",
+    "UniformNetwork",
+    "UniformNoise",
+    "build_collective_program",
+    "build_exec_times",
+    "build_lockstep_program",
+    "delays_at_local_rank",
+    "hybrid_exec_times",
+    "hybrid_lockstep_config",
+    "random_delays",
+    "read_jsonl",
+    "select_protocol",
+    "simulate",
+    "simulate_lockstep",
+    "simulate_saturation",
+    "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,279 @@
+"""The authoritative static-DAG discrete-event engine.
+
+Bulk-synchronous programs with deterministic message matching form a static
+dependency DAG: per-rank operations are chained in program order, and each
+matched message adds cross-rank edges whose shape depends on the protocol:
+
+- **eager** — the send completes locally (no backward edge); the receive
+  request completes at ``max(message arrival, recv posted)``.  Modelled as
+  a virtual *completion* node with edges from the ``ISEND`` (weighted by
+  the flight time) and the ``IRECV``.
+- **rendezvous** — the transfer starts only when *both* the sender and the
+  receiver have arrived; both requests complete at the end of the transfer.
+  Modelled as a virtual *transfer* node (duration = transfer time) feeding
+  both ranks' ``WAITALL``.  This is the mechanism by which delays propagate
+  against the message direction (Fig. 5(e,f)).
+- **bidirectional rendezvous progress coupling** — the paper measures that
+  idle waves travel *twice* as fast under bidirectional rendezvous
+  communication (σ = 2 in Eq. 2): "two neighbors of the delayed process are
+  blocked in either direction".  We model this as a one-hop coupling rule:
+  when a pair of ranks exchanges rendezvous messages in *both* directions
+  within a step, the pair's transfers additionally wait for the posting
+  times of both endpoints' other same-step rendezvous partners.  The rule
+  uses posting (not completion) times, so it reaches exactly one extra hop
+  and cannot cascade; it reproduces the measured σ = 2 (and σ·d for d > 1)
+  while leaving unidirectional and eager traffic untouched.
+
+Completion times are computed by Kahn-style topological propagation:
+``end(n) = max over predecessors p of (end(p) + edge_delay) + duration(n)``.
+The result is an exact event-driven simulation of the program under the
+given network model — the same modeling approach as LogGOPSim, which the
+paper uses as its simulated comparator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim.mpi import DEFAULT_EAGER_LIMIT, MessageMatcher, Protocol, select_protocol
+from repro.sim.network import NetworkModel, UniformNetwork
+from repro.sim.program import OpKind, Program
+from repro.sim.topology import CommDomain, ProcessMapping
+from repro.sim.trace import OpRecord, Trace
+
+__all__ = ["SimConfig", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything the engine needs besides the program itself.
+
+    Parameters
+    ----------
+    network:
+        Transfer-time model.
+    mapping:
+        Rank placement, used to classify each message's
+        :class:`~repro.sim.topology.CommDomain`.  When omitted, every pair
+        of distinct ranks is treated as inter-node (the "one process per
+        node" configuration of Figs. 4, 5 and 7).
+    eager_limit:
+        Protocol switch point in bytes (used when ``protocol`` is AUTO).
+    protocol:
+        Force eager or rendezvous for *all* messages, or AUTO for the
+        size-based rule.
+    """
+
+    network: NetworkModel = field(default_factory=UniformNetwork)
+    mapping: ProcessMapping | None = None
+    eager_limit: int = DEFAULT_EAGER_LIMIT
+    protocol: Protocol = Protocol.AUTO
+
+    def domain(self, a: int, b: int) -> CommDomain:
+        if self.mapping is not None:
+            return self.mapping.domain(a, b)
+        return CommDomain.SELF if a == b else CommDomain.INTER_NODE
+
+
+class _DagBuilder:
+    """Accumulates nodes and edges, then propagates completion times."""
+
+    __slots__ = ("duration", "succs", "indeg", "ready", "prog_pred")
+
+    def __init__(self) -> None:
+        self.duration: list[float] = []
+        self.succs: list[list[tuple[int, float]]] = []
+        self.indeg: list[int] = []
+        self.ready: list[float] = []
+        self.prog_pred: list[int] = []
+
+    def add_node(self, duration: float, prog_pred: int = -1) -> int:
+        node = len(self.duration)
+        self.duration.append(duration)
+        self.succs.append([])
+        self.indeg.append(0)
+        self.ready.append(0.0)
+        self.prog_pred.append(prog_pred)
+        if prog_pred >= 0:
+            self.add_edge(prog_pred, node, 0.0)
+        return node
+
+    def add_edge(self, src: int, dst: int, delay: float) -> None:
+        self.succs[src].append((dst, delay))
+        self.indeg[dst] += 1
+
+    def propagate(self) -> list[float]:
+        """Topological sweep; returns per-node completion times."""
+        n = len(self.duration)
+        indeg = self.indeg[:]
+        ready = self.ready
+        end = [0.0] * n
+        queue: deque[int] = deque(i for i in range(n) if indeg[i] == 0)
+        processed = 0
+        while queue:
+            node = queue.popleft()
+            processed += 1
+            end[node] = ready[node] + self.duration[node]
+            for succ, delay in self.succs[node]:
+                candidate = end[node] + delay
+                if candidate > ready[succ]:
+                    ready[succ] = candidate
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    queue.append(succ)
+        if processed != n:
+            raise RuntimeError(
+                f"dependency cycle in program DAG: processed {processed} of {n} nodes "
+                "(this indicates a deadlocking communication pattern)"
+            )
+        return end
+
+
+def simulate(program: Program, config: SimConfig | None = None) -> Trace:
+    """Run one program to completion and return its trace.
+
+    The simulation is deterministic: all randomness (noise, delays) is baked
+    into the program's ``COMP`` durations at construction time.
+
+    Raises
+    ------
+    ValueError
+        If the program contains unmatched sends/receives.
+    RuntimeError
+        If the communication pattern deadlocks (dependency cycle).
+    """
+    if config is None:
+        config = SimConfig()
+
+    dag = _DagBuilder()
+    matcher = MessageMatcher()
+
+    # Metadata per DAG node needed to wire matches and emit records.
+    # op_nodes[rank] = list of (node, op) in program order.
+    op_nodes: list[list[tuple[int, object]]] = []
+    # waitall_of[node] = the WAITALL node this ISEND/IRECV belongs to
+    waitall_of: dict[int, int] = {}
+    # step_of_send[node] = bulk-synchronous step of an ISEND node
+    step_of_send: dict[int, int] = {}
+    # prewait[(rank, step)] = node just before the step's WAITALL (the rank's
+    # posting-complete time; anchor of the progress-coupling rule)
+    prewait: dict[tuple[int, int], int] = {}
+
+    for rank, rank_ops in enumerate(program.ops):
+        prev = -1
+        nodes_here: list[tuple[int, object]] = []
+        pending_reqs: list[int] = []
+        for op in rank_ops:
+            if op.kind == OpKind.COMP:
+                node = dag.add_node(op.duration, prev)
+            elif op.kind == OpKind.ISEND:
+                domain = config.domain(rank, op.peer)
+                node = dag.add_node(config.network.send_overhead(domain), prev)
+                matcher.add_send(rank, op.peer, op.tag, op.size, node)
+                step_of_send[node] = op.step
+                pending_reqs.append(node)
+            elif op.kind == OpKind.IRECV:
+                node = dag.add_node(0.0, prev)
+                matcher.add_recv(op.peer, rank, op.tag, node)
+                pending_reqs.append(node)
+            elif op.kind == OpKind.WAITALL:
+                if prev >= 0:
+                    prewait[(rank, op.step)] = prev
+                node = dag.add_node(0.0, prev)
+                for req in pending_reqs:
+                    waitall_of[req] = node
+                pending_reqs = []
+            else:  # pragma: no cover - OpKind is exhaustive
+                raise ValueError(f"unknown op kind {op.kind}")
+            nodes_here.append((node, op))
+            prev = node
+        if pending_reqs:
+            raise ValueError(
+                f"rank {rank} ends with {len(pending_reqs)} requests not covered "
+                "by a WAITALL"
+            )
+        op_nodes.append(nodes_here)
+
+    # Wire the matched messages.  Rendezvous matches are collected first so
+    # the bidirectional progress-coupling rule can be applied afterwards.
+    from collections import defaultdict
+
+    rdv_partners: dict[tuple[int, int], set[int]] = defaultdict(set)
+    pair_directions: dict[tuple[int, int, int], set[tuple[int, int]]] = defaultdict(set)
+    rdv_transfers: list[tuple[object, int, int]] = []  # (match, transfer node, step)
+
+    for m in matcher.finish():
+        domain = config.domain(m.src, m.dst)
+        proto = select_protocol(m.size, config.eager_limit, config.protocol)
+        flight = config.network.transfer_time(m.size, domain)
+        o_recv = config.network.recv_overhead(domain)
+        send_wait = waitall_of[m.send_node]
+        recv_wait = waitall_of[m.recv_node]
+        if proto == Protocol.EAGER:
+            # Send request is locally complete; ISEND -> its WAITALL.
+            dag.add_edge(m.send_node, send_wait, 0.0)
+            # Receive request completes at max(arrival, posted) + o_recv.
+            completion = dag.add_node(o_recv)
+            dag.add_edge(m.send_node, completion, flight)
+            dag.add_edge(m.recv_node, completion, 0.0)
+            dag.add_edge(completion, recv_wait, 0.0)
+        else:  # rendezvous: handshake, then transfer; both requests finish at end
+            transfer = dag.add_node(flight + o_recv)
+            dag.add_edge(m.send_node, transfer, 0.0)
+            dag.add_edge(m.recv_node, transfer, 0.0)
+            dag.add_edge(transfer, send_wait, 0.0)
+            dag.add_edge(transfer, recv_wait, 0.0)
+            step = step_of_send[m.send_node]
+            rdv_partners[(m.src, step)].add(m.dst)
+            rdv_partners[(m.dst, step)].add(m.src)
+            lo, hi = (m.src, m.dst) if m.src < m.dst else (m.dst, m.src)
+            pair_directions[(lo, hi, step)].add((m.src, m.dst))
+            rdv_transfers.append((m, transfer, step))
+
+    # Bidirectional rendezvous progress coupling (σ = 2 of Eq. 2): when a
+    # pair exchanges rendezvous messages both ways in one step, its transfers
+    # additionally wait for the posting-complete times of both endpoints'
+    # same-step rendezvous partners.  Posting times are primary quantities
+    # (execution end + send overheads), so the rule reaches exactly one hop.
+    for m, transfer, step in rdv_transfers:
+        lo, hi = (m.src, m.dst) if m.src < m.dst else (m.dst, m.src)
+        if len(pair_directions[(lo, hi, step)]) < 2:
+            continue
+        coupled = rdv_partners[(m.src, step)] | rdv_partners[(m.dst, step)]
+        for p in coupled:
+            anchor = prewait.get((p, step))
+            if anchor is not None:
+                dag.add_edge(anchor, transfer, 0.0)
+
+    end = dag.propagate()
+
+    records: list[OpRecord] = []
+    for rank, nodes_here in enumerate(op_nodes):
+        for node, op in nodes_here:
+            pred = dag.prog_pred[node]
+            local_ready = end[pred] if pred >= 0 else 0.0
+            if op.kind == OpKind.WAITALL:
+                start = local_ready
+            else:
+                start = dag.ready[node]
+            records.append(
+                OpRecord(
+                    rank=rank,
+                    step=op.step,
+                    kind=op.kind,
+                    start=start,
+                    end=end[node],
+                    peer=op.peer,
+                    size=op.size,
+                )
+            )
+
+    trace = Trace(
+        n_ranks=program.n_ranks,
+        n_steps=program.n_steps,
+        records=records,
+        meta={**program.meta, "engine": "dag", "protocol": config.protocol.value,
+              "eager_limit": config.eager_limit},
+    )
+    return trace

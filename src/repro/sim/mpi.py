@@ -1,0 +1,120 @@
+"""MPI point-to-point semantics: protocols and message matching.
+
+The propagation behaviour of idle waves hinges on one MPI implementation
+detail (Sec. II-C1): short messages use the **eager** protocol (the sender
+buffers and proceeds — no handshake, no backward dependency), while large
+messages use **rendezvous** (sender and receiver synchronize before the
+transfer — the sender *cannot* complete until the receiver arrives, which
+makes delays propagate *against* the message direction, Fig. 5(e,f)).
+
+This module provides the protocol selection rule (the *eager limit*) and a
+deterministic message matcher: the *n*-th send from rank ``i`` to rank ``j``
+with tag ``t`` matches the *n*-th receive posted at ``j`` for source ``i``
+and tag ``t`` — MPI's non-overtaking guarantee for our deterministic
+programs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Protocol", "select_protocol", "MessageMatcher", "MatchedMessage", "DEFAULT_EAGER_LIMIT"]
+
+#: Default eager limit in bytes.  The paper's Fig. 5 states the limit as
+#: "16384 doubles, i.e. 131072 B" (Intel MPI inter-node default).
+DEFAULT_EAGER_LIMIT: int = 131072
+
+
+class Protocol(Enum):
+    """Message transfer protocol."""
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+    AUTO = "auto"
+
+
+def select_protocol(size_bytes: int, eager_limit: int = DEFAULT_EAGER_LIMIT,
+                    forced: Protocol = Protocol.AUTO) -> Protocol:
+    """Resolve the protocol used for a message of ``size_bytes``.
+
+    ``forced`` overrides the size-based rule (for controlled experiments);
+    with ``Protocol.AUTO`` messages up to and including the eager limit go
+    eager, larger ones rendezvous.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be >= 0, got {size_bytes}")
+    if eager_limit < 0:
+        raise ValueError(f"eager_limit must be >= 0, got {eager_limit}")
+    if forced != Protocol.AUTO:
+        return forced
+    return Protocol.EAGER if size_bytes <= eager_limit else Protocol.RENDEZVOUS
+
+
+@dataclass(slots=True, frozen=True)
+class MatchedMessage:
+    """A matched (send, recv) pair, identified by op indices in the DAG."""
+
+    src: int
+    dst: int
+    tag: int
+    size: int
+    send_node: int
+    recv_node: int
+
+
+class MessageMatcher:
+    """FIFO matching of sends to receives per (src, dst, tag) channel.
+
+    The engine registers every ``ISEND`` and ``IRECV`` as it walks the
+    per-rank programs; whenever both sides of a channel have an outstanding
+    entry, a :class:`MatchedMessage` is produced.  At the end of program
+    construction, :meth:`finish` verifies that no operation was left
+    unmatched (an unmatched op means the program would deadlock or leak a
+    request — a bug in program construction).
+    """
+
+    def __init__(self) -> None:
+        self._pending_sends: dict[tuple[int, int, int], deque[tuple[int, int]]] = defaultdict(deque)
+        self._pending_recvs: dict[tuple[int, int, int], deque[int]] = defaultdict(deque)
+        self.matches: list[MatchedMessage] = []
+
+    def add_send(self, src: int, dst: int, tag: int, size: int, node: int) -> MatchedMessage | None:
+        """Register a send; returns the match if a recv was already waiting."""
+        key = (src, dst, tag)
+        if self._pending_recvs[key]:
+            recv_node = self._pending_recvs[key].popleft()
+            m = MatchedMessage(src, dst, tag, size, node, recv_node)
+            self.matches.append(m)
+            return m
+        self._pending_sends[key].append((node, size))
+        return None
+
+    def add_recv(self, src: int, dst: int, tag: int, node: int) -> MatchedMessage | None:
+        """Register a receive; returns the match if a send was already waiting."""
+        key = (src, dst, tag)
+        if self._pending_sends[key]:
+            send_node, size = self._pending_sends[key].popleft()
+            m = MatchedMessage(src, dst, tag, size, send_node, node)
+            self.matches.append(m)
+            return m
+        self._pending_recvs[key].append(node)
+        return None
+
+    def finish(self) -> list[MatchedMessage]:
+        """Verify completeness and return all matches.
+
+        Raises
+        ------
+        ValueError
+            If any send or receive is left unmatched.
+        """
+        unmatched_sends = {k: len(v) for k, v in self._pending_sends.items() if v}
+        unmatched_recvs = {k: len(v) for k, v in self._pending_recvs.items() if v}
+        if unmatched_sends or unmatched_recvs:
+            raise ValueError(
+                "program has unmatched point-to-point operations: "
+                f"sends={unmatched_sends} recvs={unmatched_recvs}"
+            )
+        return self.matches

@@ -1,0 +1,133 @@
+"""Trace serialization: JSON-lines export/import and CSV export.
+
+Lets simulated traces be archived, diffed across runs, or analyzed with
+external tooling (pandas, trace viewers), and lets traces recorded
+elsewhere (e.g. converted from a real MPI trace) be fed into the analysis
+layer.  The JSON-lines format is one header object followed by one object
+per :class:`~repro.sim.trace.OpRecord`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.sim.program import OpKind
+from repro.sim.trace import OpRecord, Trace
+
+__all__ = ["write_jsonl", "read_jsonl", "write_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def _meta_safe(meta: dict) -> dict:
+    """Keep only JSON-serializable metadata entries (stringify the rest)."""
+    out = {}
+    for key, value in meta.items():
+        try:
+            json.dumps(value)
+            out[key] = value
+        except TypeError:
+            out[key] = repr(value)
+    return out
+
+
+def write_jsonl(trace: Trace, target: "str | Path | TextIO") -> None:
+    """Write a trace as JSON lines (header line + one line per record)."""
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        header = {
+            "format": "repro-trace",
+            "version": _FORMAT_VERSION,
+            "n_ranks": trace.n_ranks,
+            "n_steps": trace.n_steps,
+            "meta": _meta_safe(trace.meta),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for r in trace.records:
+            fh.write(
+                json.dumps(
+                    {
+                        "rank": r.rank,
+                        "step": r.step,
+                        "kind": r.kind.name,
+                        "start": r.start,
+                        "end": r.end,
+                        "peer": r.peer,
+                        "size": r.size,
+                    }
+                )
+                + "\n"
+            )
+    finally:
+        if own:
+            fh.close()
+
+
+def read_jsonl(source: "str | Path | TextIO") -> Trace:
+    """Read a trace written by :func:`write_jsonl`.
+
+    Raises
+    ------
+    ValueError
+        On a missing/incompatible header or malformed records.
+    """
+    own = isinstance(source, (str, Path))
+    fh: TextIO = open(source) if own else source  # type: ignore[arg-type]
+    try:
+        header_line = fh.readline()
+        if not header_line.strip():
+            raise ValueError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-trace":
+            raise ValueError(f"not a repro trace file (format={header.get('format')!r})")
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')!r}; "
+                f"this build reads version {_FORMAT_VERSION}"
+            )
+        records = []
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            try:
+                records.append(
+                    OpRecord(
+                        rank=int(obj["rank"]),
+                        step=int(obj["step"]),
+                        kind=OpKind[obj["kind"]],
+                        start=float(obj["start"]),
+                        end=float(obj["end"]),
+                        peer=int(obj.get("peer", -1)),
+                        size=int(obj.get("size", 0)),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"malformed trace record on line {lineno}: {exc}") from exc
+        return Trace(
+            n_ranks=int(header["n_ranks"]),
+            n_steps=int(header["n_steps"]),
+            records=records,
+            meta=dict(header.get("meta", {})),
+        )
+    finally:
+        if own:
+            fh.close()
+
+
+def write_csv(trace: Trace, target: "str | Path | TextIO") -> None:
+    """Write the records as CSV (header: rank,step,kind,start,end,peer,size)."""
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        fh.write("rank,step,kind,start,end,peer,size\n")
+        for r in trace.records:
+            fh.write(
+                f"{r.rank},{r.step},{r.kind.name},{r.start!r},{r.end!r},{r.peer},{r.size}\n"
+            )
+    finally:
+        if own:
+            fh.close()

@@ -1,0 +1,13 @@
+"""Terminal visualization: ASCII timelines, histograms, and text tables."""
+
+from repro.viz.ascii_histogram import render_histogram
+from repro.viz.ascii_timeline import render_idle_heatmap, render_timeline
+from repro.viz.tables import format_series, format_table
+
+__all__ = [
+    "format_series",
+    "format_table",
+    "render_histogram",
+    "render_idle_heatmap",
+    "render_timeline",
+]

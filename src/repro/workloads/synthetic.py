@@ -1,0 +1,82 @@
+"""Synthetic execution-time generators for controlled experiments.
+
+The propagation experiments of Secs. IV and V use a purely compute-bound
+phase of fixed length (3 ms).  These helpers generate per-(rank, step)
+execution-time matrices for the standard case and for structured
+imbalance variants used in tests and ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SyntheticWorkload", "constant_times", "imbalanced_times", "ramp_times"]
+
+
+def constant_times(n_ranks: int, n_steps: int, t_exec: float) -> np.ndarray:
+    """Perfectly balanced phases: every rank, every step takes ``t_exec``."""
+    if n_ranks < 1 or n_steps < 1:
+        raise ValueError("n_ranks and n_steps must be >= 1")
+    if t_exec <= 0:
+        raise ValueError(f"t_exec must be > 0, got {t_exec}")
+    return np.full((n_ranks, n_steps), t_exec)
+
+
+def imbalanced_times(
+    n_ranks: int,
+    n_steps: int,
+    t_exec: float,
+    slow_ranks: "list[int] | tuple[int, ...]",
+    factor: float,
+) -> np.ndarray:
+    """Static imbalance: ``slow_ranks`` take ``factor``× the base time.
+
+    Manifest load imbalance is "considered an application-induced delay"
+    (Sec. II-A); this generator creates the persistent variant.
+    """
+    times = constant_times(n_ranks, n_steps, t_exec)
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    for r in slow_ranks:
+        if not 0 <= r < n_ranks:
+            raise IndexError(f"slow rank {r} out of range [0, {n_ranks})")
+        times[r, :] *= factor
+    return times
+
+
+def ramp_times(n_ranks: int, n_steps: int, t_min: float, t_max: float) -> np.ndarray:
+    """Linear ramp of phase duration across ranks (systematic imbalance)."""
+    if t_min <= 0 or t_max < t_min:
+        raise ValueError(f"need 0 < t_min <= t_max, got {t_min}, {t_max}")
+    per_rank = np.linspace(t_min, t_max, n_ranks)
+    return np.repeat(per_rank[:, None], n_steps, axis=1)
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A named, parameterized execution-time generator.
+
+    ``kind`` is one of ``"constant"``, ``"imbalanced"``, ``"ramp"``; extra
+    parameters are forwarded to the matching generator.  Useful for
+    declaratively configured sweeps.
+    """
+
+    kind: str = "constant"
+    t_exec: float = 3e-3
+    slow_ranks: tuple[int, ...] = ()
+    factor: float = 1.5
+    t_max: float | None = None
+
+    def generate(self, n_ranks: int, n_steps: int) -> np.ndarray:
+        if self.kind == "constant":
+            return constant_times(n_ranks, n_steps, self.t_exec)
+        if self.kind == "imbalanced":
+            return imbalanced_times(
+                n_ranks, n_steps, self.t_exec, list(self.slow_ranks), self.factor
+            )
+        if self.kind == "ramp":
+            t_max = self.t_max if self.t_max is not None else 2 * self.t_exec
+            return ramp_times(n_ranks, n_steps, self.t_exec, t_max)
+        raise ValueError(f"unknown synthetic workload kind {self.kind!r}")

@@ -1,0 +1,63 @@
+"""Unit tests for the skew-profile Fourier analysis (Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fourier import (
+    dominant_wavelength,
+    skew_profile,
+    skew_spectrum,
+)
+from repro.core.timing import RunTiming
+
+
+def synthetic_timing(profile_fn, n_ranks=64, n_steps=4):
+    """Timing whose completion at each step carries a synthetic skew."""
+    base = np.arange(1, n_steps + 1, dtype=float)[None, :] * 1e-2
+    skew = profile_fn(np.arange(n_ranks))[:, None]
+    completion = base + skew
+    return RunTiming(
+        exec_end=completion - 1e-3,
+        completion=completion,
+        idle=np.zeros((n_ranks, n_steps)),
+    )
+
+
+class TestSkewProfile:
+    def test_zero_mean(self):
+        t = synthetic_timing(lambda r: np.sin(2 * np.pi * r / 64) * 1e-3)
+        p = skew_profile(t, step=2)
+        assert p.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_step_bounds(self):
+        t = synthetic_timing(lambda r: r * 0.0)
+        with pytest.raises(IndexError):
+            skew_profile(t, step=10)
+
+
+class TestSkewSpectrum:
+    def test_single_mode_detected(self):
+        t = synthetic_timing(lambda r: np.sin(2 * np.pi * 4 * r / 64) * 1e-3)
+        spec = skew_spectrum(t, step=0)
+        assert spec.dominant_mode() == 4
+        assert spec.mode_fraction(4) > 0.99
+
+    def test_fundamental_wavelength_equals_system_size(self):
+        t = synthetic_timing(lambda r: np.sin(2 * np.pi * r / 64) * 1e-3)
+        assert dominant_wavelength(t, 0) == pytest.approx(64.0)
+
+    def test_wavelength_of_higher_mode(self):
+        t = synthetic_timing(lambda r: np.cos(2 * np.pi * 8 * r / 64) * 1e-3)
+        assert dominant_wavelength(t, 0) == pytest.approx(8.0)
+
+    def test_mode_fraction_bounds(self):
+        t = synthetic_timing(lambda r: np.sin(2 * np.pi * r / 64) * 1e-3)
+        spec = skew_spectrum(t, 0)
+        with pytest.raises(IndexError):
+            spec.mode_fraction(0)
+
+    def test_flat_profile_has_zero_power(self):
+        t = synthetic_timing(lambda r: np.zeros_like(r, dtype=float))
+        spec = skew_spectrum(t, 0)
+        assert spec.power[1:].sum() == pytest.approx(0.0, abs=1e-20)
+        assert spec.mode_fraction(1) == 0.0

@@ -1,0 +1,69 @@
+"""Unit tests for machine specifications."""
+
+import pytest
+
+from repro.cluster.machine import CpuSpec, MachineSpec
+from repro.sim.network import UniformNetwork
+from repro.sim.noise import NoNoise
+from repro.sim.topology import MachineTopology
+
+
+def make_spec(**kw):
+    base = dict(
+        name="test",
+        topology=MachineTopology(cores_per_socket=10, sockets_per_node=2, n_nodes=4),
+        network=UniformNetwork(),
+        cpu=CpuSpec(name="IVB", clock_hz=2.2e9, vdivpd_cycles=28),
+        b_core=6.5e9,
+        b_socket=40e9,
+        natural_noise=NoNoise(),
+    )
+    base.update(kw)
+    return MachineSpec(**base)
+
+
+class TestCpuSpec:
+    def test_peak_flops(self):
+        cpu = CpuSpec(name="x", clock_hz=2e9, flops_per_cycle=8)
+        assert cpu.peak_flops == pytest.approx(16e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuSpec(name="x", clock_hz=0)
+        with pytest.raises(ValueError):
+            CpuSpec(name="x", vdivpd_cycles=0)
+
+
+class TestMachineSpec:
+    def test_mapping_default_fills_cores(self):
+        m = make_spec().mapping(40)
+        assert m.ppn == 20
+        assert m.n_nodes_used() == 2
+
+    def test_mapping_ppn_one(self):
+        m = make_spec().mapping(4, ppn=1)
+        assert m.n_nodes_used() == 4
+
+    def test_with_nodes(self):
+        spec = make_spec().with_nodes(100)
+        assert spec.topology.n_nodes == 100
+        assert spec.name == "test"
+
+    def test_saturation_cores(self):
+        spec = make_spec()
+        # ceil(40 / 6.5) = 7 cores to saturate.
+        assert spec.saturation_cores() == 7
+
+    def test_divide_phase_elements(self):
+        spec = make_spec()
+        n = spec.divide_phase_elements(3e-3)
+        # n * 28 / 2.2e9 == 3 ms up to rounding to a whole instruction.
+        assert n * 28 / 2.2e9 == pytest.approx(3e-3, rel=1e-5)
+
+    def test_divide_phase_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            make_spec().divide_phase_elements(0)
+
+    def test_b_core_above_socket_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(b_core=50e9, b_socket=40e9)

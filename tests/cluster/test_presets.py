@@ -1,0 +1,67 @@
+"""Unit tests for the Emmy/Meggie/Simulated presets (paper Sec. III)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import EMMY, MEGGIE, SIMULATED, get_machine
+from repro.sim.noise import NoNoise
+from repro.sim.topology import CommDomain
+
+
+class TestEmmy:
+    def test_paper_shape(self):
+        assert EMMY.topology.cores_per_socket == 10
+        assert EMMY.topology.sockets_per_node == 2
+        assert EMMY.topology.n_nodes == 560
+        assert EMMY.cpu.vdivpd_cycles == 28  # Ivy Bridge
+        assert EMMY.cpu.clock_hz == pytest.approx(2.2e9)
+
+    def test_memory_bandwidth_per_paper(self):
+        assert EMMY.b_socket == pytest.approx(40e9)
+
+    def test_operational_noise_is_smt_on(self):
+        assert EMMY.natural_noise is EMMY.noise_smt_on
+        assert EMMY.natural_noise.mean() == pytest.approx(2.4e-6)
+
+    def test_network_hierarchy_ordered(self):
+        t_intra = EMMY.network.transfer_time(8192, CommDomain.INTRA_SOCKET)
+        t_node = EMMY.network.transfer_time(8192, CommDomain.INTER_NODE)
+        assert t_intra < t_node
+
+
+class TestMeggie:
+    def test_paper_shape(self):
+        assert MEGGIE.topology.n_nodes == 724
+        assert MEGGIE.cpu.vdivpd_cycles == 16  # Broadwell
+
+    def test_operational_noise_is_smt_off_bimodal(self):
+        assert MEGGIE.natural_noise is MEGGIE.noise_smt_off
+        rng = np.random.default_rng(0)
+        samples = MEGGIE.natural_noise.sample(rng, (100_000,))
+        assert (samples > 300e-6).mean() > 0.001  # the driver spike mode
+
+    def test_smt_on_mean_matches_paper(self):
+        assert MEGGIE.noise_smt_on.mean() == pytest.approx(2.8e-6)
+
+
+class TestSimulated:
+    def test_noise_free(self):
+        assert isinstance(SIMULATED.natural_noise, NoNoise)
+
+    def test_flat_network(self):
+        times = [
+            SIMULATED.network.transfer_time(8192, d)
+            for d in (CommDomain.INTRA_SOCKET, CommDomain.INTER_SOCKET,
+                      CommDomain.INTER_NODE)
+        ]
+        assert len(set(times)) == 1
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_machine("Emmy") is EMMY
+        assert get_machine("MEGGIE") is MEGGIE
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("frontier")

@@ -1,0 +1,98 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    LockstepConfig,
+    SimConfig,
+    UniformNetwork,
+    build_lockstep_program,
+    simulate,
+    simulate_lockstep,
+)
+
+T_EXEC = 3e-3
+
+
+@pytest.fixture
+def uniform_network():
+    return UniformNetwork()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_cfg(
+    n_ranks=12,
+    n_steps=15,
+    t_exec=T_EXEC,
+    msg_size=8192,
+    direction=Direction.UNIDIRECTIONAL,
+    distance=1,
+    periodic=False,
+    delays=(),
+    noise=None,
+    seed=0,
+):
+    """Concise LockstepConfig factory used across the suite."""
+    kwargs = dict(
+        n_ranks=n_ranks,
+        n_steps=n_steps,
+        t_exec=t_exec,
+        msg_size=msg_size,
+        pattern=CommPattern(direction=direction, distance=distance, periodic=periodic),
+        delays=tuple(delays),
+        seed=seed,
+    )
+    if noise is not None:
+        kwargs["noise"] = noise
+    return LockstepConfig(**kwargs)
+
+
+def delayed_cfg(**kw):
+    """Config with the canonical mid-chain delay (5 phases at the middle rank)."""
+    n_ranks = kw.pop("n_ranks", 12)
+    t_exec = kw.pop("t_exec", T_EXEC)
+    source = kw.pop("source", n_ranks // 2)
+    phases = kw.pop("phases", 5.0)
+    return make_cfg(
+        n_ranks=n_ranks,
+        t_exec=t_exec,
+        delays=(DelaySpec(rank=source, step=0, duration=phases * t_exec),),
+        **kw,
+    )
+
+
+@pytest.fixture
+def fig4_trace(uniform_network):
+    """The canonical Fig. 4 run (eager, unidirectional, delay at rank 5)."""
+    cfg = make_cfg(
+        n_ranks=12,
+        n_steps=15,
+        delays=(DelaySpec(rank=5, step=0, duration=4.5 * T_EXEC),),
+    )
+    return simulate(build_lockstep_program(cfg), SimConfig(network=uniform_network))
+
+
+def run_both_engines(cfg, network=None, protocol=repro.Protocol.AUTO, eager_limit=None):
+    """Run the DAG and lockstep engines on identical inputs."""
+    from repro.sim.mpi import DEFAULT_EAGER_LIMIT
+
+    net = network or UniformNetwork()
+    limit = DEFAULT_EAGER_LIMIT if eager_limit is None else eager_limit
+    exec_times = repro.build_exec_times(cfg)
+    trace = simulate(
+        build_lockstep_program(cfg, exec_times),
+        SimConfig(network=net, protocol=protocol, eager_limit=limit),
+    )
+    result = simulate_lockstep(
+        cfg, exec_times=exec_times, network=net, protocol=protocol, eager_limit=limit
+    )
+    return trace, result

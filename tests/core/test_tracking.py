@@ -1,0 +1,120 @@
+"""Unit tests for wall-clock leading/trailing wave-edge tracking."""
+
+import numpy as np
+import pytest
+
+from repro.core import silent_speed
+from repro.core.tracking import track_wave
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    ExponentialNoise,
+    LockstepConfig,
+    UniformNetwork,
+    simulate_lockstep,
+)
+from repro.sim.topology import CommDomain
+
+T = 3e-3
+T_COMM = UniformNetwork().total_pingpong_time(8192, CommDomain.INTER_NODE)
+
+
+def run(E=0.0, delay_phases=10, n_ranks=30, n_steps=35, seed=0):
+    cfg = LockstepConfig(
+        n_ranks=n_ranks, n_steps=n_steps, t_exec=T, msg_size=8192,
+        pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1,
+                            periodic=True),
+        delays=(DelaySpec(rank=0, step=0, duration=delay_phases * T),),
+        noise=ExponentialNoise(E * T),
+        seed=seed,
+    )
+    return simulate_lockstep(cfg)
+
+
+class TestTrackWaveNoiseFree:
+    def test_both_edges_move_at_eq2_speed(self):
+        track = track_wave(run(), source=0, direction=+1, periodic=True)
+        lead, trail = track.edge_speeds()
+        v = silent_speed(T, T_COMM)
+        assert lead == pytest.approx(v, rel=0.1)
+        assert trail == pytest.approx(v, rel=0.1)
+
+    def test_width_matches_delay_extent(self):
+        """A 10-phase delay keeps ~10 consecutive ranks idle at once."""
+        track = track_wave(run(delay_phases=10), source=0, direction=+1,
+                           periodic=True)
+        widths = track.widths()
+        # Skip birth/death transients at the ends of the track.
+        mid = widths[len(widths) // 4 : -len(widths) // 4]
+        assert 8 <= np.median(mid) <= 11
+
+    def test_leading_edge_monotone(self):
+        track = track_wave(run(), source=0, direction=+1, periodic=True)
+        assert (np.diff(track.leading_positions()) >= 0).all()
+
+    def test_idle_mass_positive(self):
+        track = track_wave(run(), source=0, direction=+1, periodic=True)
+        assert (track.idle_masses() > 0).all()
+
+    def test_downward_branch_tracked_separately(self):
+        track = track_wave(run(), source=0, direction=-1, periodic=True)
+        assert len(track) > 0
+        assert (track.leading_positions() <= 15).all()
+
+
+class TestTrackWaveUnderNoise:
+    def test_trailing_edge_outruns_leading_edge(self):
+        """The paper's erosion mechanism: noise eats the trailing edge, so
+        it moves faster than the noise-insensitive leading edge."""
+        deltas = []
+        for seed in range(6):
+            track = track_wave(
+                run(E=0.15, delay_phases=10, seed=seed), source=0,
+                direction=+1, periodic=True,
+            )
+            if len(track) < 3:
+                continue
+            lead, trail = track.edge_speeds()
+            deltas.append(trail - lead)
+        assert deltas, "tracks too short to fit"
+        assert np.median(deltas) > 0
+
+    def test_width_shrinks_under_noise(self):
+        noisy_widths, quiet_widths = [], []
+        for seed in range(4):
+            tn = track_wave(run(E=0.15, seed=seed), source=0, direction=+1,
+                            periodic=True)
+            tq = track_wave(run(E=0.0, seed=seed), source=0, direction=+1,
+                            periodic=True)
+            if len(tn) >= 3 and len(tq) >= 3:
+                noisy_widths.append(tn.widths()[-1])
+                quiet_widths.append(tq.widths()[len(tn) - 1] if len(tn) <= len(tq)
+                                    else tq.widths()[-1])
+        assert noisy_widths
+        assert np.median(noisy_widths) < np.median(quiet_widths) + 1
+
+
+class TestTrackWaveValidation:
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            track_wave(run(), source=0, direction=0)
+
+    def test_invalid_source(self):
+        with pytest.raises(IndexError):
+            track_wave(run(), source=99)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            track_wave(run(), source=0, n_samples=1)
+
+    def test_quiet_run_has_empty_track(self):
+        cfg = LockstepConfig(n_ranks=8, n_steps=6, t_exec=T)
+        track = track_wave(simulate_lockstep(cfg), source=4)
+        assert len(track) == 0
+
+    def test_edge_speeds_need_three_snapshots(self):
+        cfg = LockstepConfig(n_ranks=8, n_steps=6, t_exec=T)
+        track = track_wave(simulate_lockstep(cfg), source=4)
+        with pytest.raises(ValueError):
+            track.edge_speeds()

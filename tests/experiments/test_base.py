@@ -1,0 +1,28 @@
+"""Unit tests for the shared experiment result container."""
+
+from repro.experiments.base import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_render_includes_all_sections(self):
+        r = ExperimentResult(
+            name="demo",
+            title="A demo experiment",
+            tables={"first": "a | b\n1 | 2", "second": "x"},
+            notes=["observation one", "observation two"],
+        )
+        text = r.render()
+        assert "=== demo: A demo experiment ===" in text
+        assert "--- first ---" in text
+        assert "--- second ---" in text
+        assert "* observation one" in text
+
+    def test_render_without_notes(self):
+        r = ExperimentResult(name="n", title="t", tables={"s": "body"})
+        assert "Notes:" not in r.render()
+
+    def test_defaults_empty(self):
+        r = ExperimentResult(name="n", title="t")
+        assert r.tables == {}
+        assert r.data == {}
+        assert r.notes == []

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_all_keyword(self):
+        args = build_parser().parse_args(["all", "--seed", "3"])
+        assert args.experiment == "all"
+        assert args.seed == 3
+
+    def test_full_flag(self):
+        assert build_parser().parse_args(["fig4", "--full"]).full
+        assert not build_parser().parse_args(["fig4"]).full
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "ranks/s" in out
+
+    def test_seed_propagates(self, capsys):
+        assert main(["fig4", "--seed", "42"]) == 0
+        assert "completed" in capsys.readouterr().out

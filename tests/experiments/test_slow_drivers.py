@@ -1,0 +1,64 @@
+"""Shape tests for the two heavier motivating-experiment drivers.
+
+Marked slow-ish but still bounded (< ~30 s together); they pin the paper's
+two desynchronization observations.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestFig1Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig1", fast=True)
+
+    def test_execution_beats_model_at_scale(self, result):
+        """The paper's core observation: measured exec perf > linear model."""
+        for point in result.data["a"]:
+            if point["sockets"] >= 4:
+                assert point["p_exec"] > 1.05 * point["model_exec"], point
+
+    def test_waits_cost_total_performance(self, result):
+        """Communication waits make the *total* performance fall short of
+        the execution-only performance — the gap the paper's Fig. 1a shows
+        between the blue squares and blue diamonds."""
+        for point in result.data["a"]:
+            if point["sockets"] >= 3:
+                assert point["p_total"] < point["p_exec"]
+
+    def test_ppn1_model_accurate(self, result):
+        """Fig. 1(c): with one process per node the model is good."""
+        for point in result.data["c"]:
+            rel_err = abs(point["p_total"] - point["model_total"]) / point["model_total"]
+            assert rel_err < 0.10, point
+
+    def test_node_level_saturation(self, result):
+        """Fig. 1(b): performance saturates across one socket."""
+        rows = {p["processes"]: p["p_total"] for p in result.data["b"]}
+        # Scaling 2 -> 10 processes is strongly sublinear (saturation).
+        assert rows[10] < 5 * rows[2] * 1.1
+        assert rows[10] > rows[2]
+
+
+class TestFig2Shape:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("fig2", fast=True)
+
+    def test_long_wavelength_pattern_emerges(self, result):
+        """By mid-run the dominant wavelength is a large fraction of the
+        100-rank system (paper: wavelength = system size)."""
+        late = [s for s in result.data["snapshots"] if s["step"] >= 100]
+        assert any(s["wavelength"] >= 50 for s in late)
+
+    def test_spread_grows_from_microseconds_to_milliseconds(self, result):
+        snaps = result.data["snapshots"]
+        first, last = snaps[0], snaps[-1]
+        assert first["spread"] < 1e-3
+        assert last["spread"] > 10e-3
+
+    def test_runtime_beats_nonoverlapping_model(self, result):
+        """Paper: actual runtime ~2.5% below the model at t=10000."""
+        assert 0.0 < result.data["deviation"] < 0.15

@@ -1,0 +1,66 @@
+"""End-to-end calibration loop: measure noise, replay it, analyze waves.
+
+The adoption story for a real cluster: (1) run the divide benchmark to
+record this host's noise (Sec. III-B), (2) feed the samples back into the
+simulator via :class:`~repro.sim.noise.TraceNoise`, (3) run the paper's
+experiments against the machine-specific noise.  This test exercises the
+whole loop on the local host.
+"""
+
+import numpy as np
+
+from repro.analysis.histogram import NoiseHistogram
+from repro.cluster import EMMY
+from repro.core import measure_speed, wave_front
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    LockstepConfig,
+    TraceNoise,
+    simulate_lockstep,
+)
+from repro.workloads.divide import DivideWorkload, measure_host_noise
+
+T = 3e-3
+
+
+class TestCalibrationLoop:
+    def test_measure_replay_analyze(self):
+        # (1) measure: a short divide benchmark on this host.
+        workload = DivideWorkload(cpu=EMMY.cpu, n_instructions=16384)
+        samples = measure_host_noise(workload, n_phases=25, warmup=2)
+        assert samples.shape == (25,)
+
+        # (2) characterize: histogram in the paper's style.
+        hist = NoiseHistogram.from_samples(samples + 1e-9, bin_width=1e-5)
+        assert hist.n_samples == 25
+
+        # (3) replay: feed the measured distribution into the simulator.
+        noise = TraceNoise.from_array(samples)
+        cfg = LockstepConfig(
+            n_ranks=20, n_steps=25, t_exec=T, msg_size=8192,
+            pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1,
+                                periodic=True),
+            delays=(DelaySpec(rank=0, step=0, duration=10 * T),),
+            noise=noise,
+            seed=3,
+        )
+        run = simulate_lockstep(cfg)
+
+        # (4) analyze: the wave is present and measurable under the
+        # host-calibrated noise.
+        front = wave_front(run, source=0, direction=+1, periodic=True)
+        assert front.reach >= 3
+        speed = measure_speed(run, source=0, periodic=True).speed
+        # Host noise is fine-grained relative to 3 ms phases: the speed
+        # stays within the noisy-cadence envelope of Eq. 2.
+        assert 0.5 / T < speed <= 1.05 / T
+
+    def test_trace_noise_statistics_faithful(self):
+        """The replayed distribution preserves the measured mean."""
+        workload = DivideWorkload(cpu=EMMY.cpu, n_instructions=8192)
+        samples = measure_host_noise(workload, n_phases=20, warmup=1)
+        noise = TraceNoise.from_array(samples)
+        drawn = noise.sample(np.random.default_rng(0), (50_000,))
+        assert abs(drawn.mean() - samples.mean()) <= 5 * samples.std() / np.sqrt(50)

@@ -1,0 +1,56 @@
+"""Integration tests: the Fig. 9 idle-period elimination study."""
+
+import pytest
+
+from repro.core import elimination_scan
+from repro.experiments.fig9_elimination import (
+    DELAY,
+    N_STEPS,
+    PAPER_TOTALS,
+    T_EXEC,
+    make_base_config,
+)
+
+
+class TestNoiseFreePoint:
+    def test_total_runtime_matches_paper(self):
+        """E=0: deterministic — our 51.17 ms vs the paper's 51.1 ms."""
+        points = elimination_scan(make_base_config(), [0.0])
+        assert points[0].runtime_with_delay == pytest.approx(
+            PAPER_TOTALS[0.0], rel=0.01
+        )
+
+    def test_excess_equals_injected_delay(self):
+        points = elimination_scan(make_base_config(), [0.0])
+        assert points[0].excess == pytest.approx(DELAY, rel=0.01)
+        assert points[0].excess_fraction(DELAY) == pytest.approx(1.0, rel=0.01)
+
+    def test_baseline_is_steps_times_phase(self):
+        points = elimination_scan(make_base_config(), [0.0])
+        assert points[0].runtime_without_delay == pytest.approx(
+            N_STEPS * T_EXEC, rel=0.01
+        )
+
+
+class TestNoisyPoints:
+    def test_excess_decreases_monotonically(self):
+        points = elimination_scan(make_base_config(), [0.0, 0.20, 0.25])
+        excesses = [p.excess for p in points]
+        assert excesses[0] > excesses[1] > excesses[2]
+
+    def test_delay_contribution_shrinks_below_70_percent(self):
+        points = elimination_scan(make_base_config(), [0.25])
+        assert points[0].excess_fraction(DELAY) < 0.7
+
+    def test_total_runtime_grows_with_noise(self):
+        points = elimination_scan(make_base_config(), [0.0, 0.20, 0.25])
+        runtimes = [p.runtime_with_delay for p in points]
+        assert runtimes[0] < runtimes[1] < runtimes[2]
+
+    def test_runtime_ordering_matches_paper(self):
+        """The paper's totals are ordered 51.1 < 82.7 < 84.6; ours too."""
+        points = elimination_scan(make_base_config(), [0.0, 0.20, 0.25])
+        ours = [p.runtime_with_delay for p in points]
+        paper = [PAPER_TOTALS[E] for E in (0.0, 0.20, 0.25)]
+        assert sorted(ours) == ours
+        assert sorted(paper) == paper

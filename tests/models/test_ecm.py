@@ -1,0 +1,58 @@
+"""Unit tests for the simplified ECM model."""
+
+import pytest
+
+from repro.models.ecm import ECMModel
+
+
+@pytest.fixture
+def triad_ecm():
+    """Rough Ivy Bridge STREAM-triad-like ECM inputs (cycles per CL)."""
+    return ECMModel(t_ol=4.0, t_nol=4.0, t_l1l2=6.0, t_l2l3=6.0, t_l3mem=8.0,
+                    clock_hz=2.2e9, cacheline_bytes=64)
+
+
+class TestComposition:
+    def test_memory_cycles_non_overlapping_sum(self, triad_ecm):
+        assert triad_ecm.cycles_per_cl_memory() == pytest.approx(4 + 6 + 6 + 8)
+
+    def test_overlap_wins_when_core_bound(self):
+        m = ECMModel(t_ol=100.0, t_nol=1.0, t_l1l2=1.0, t_l2l3=1.0, t_l3mem=1.0)
+        assert m.cycles_per_cl_memory() == pytest.approx(100.0)
+
+    def test_single_core_bandwidth(self, triad_ecm):
+        bw = triad_ecm.single_core_bandwidth()
+        assert bw == pytest.approx(64 * 2.2e9 / 24)
+
+    def test_single_core_runtime(self, triad_ecm):
+        t = triad_ecm.single_core_runtime(1e9)
+        assert t == pytest.approx(1e9 / triad_ecm.single_core_bandwidth())
+
+
+class TestMulticore:
+    def test_linear_until_saturation(self, triad_ecm):
+        b1 = triad_ecm.single_core_bandwidth()
+        t1 = triad_ecm.multicore_runtime(1e9, cores=1, b_socket=40e9)
+        t2 = triad_ecm.multicore_runtime(1e9, cores=2, b_socket=40e9)
+        assert t2 == pytest.approx(t1 / 2)
+
+    def test_saturated_at_socket_roof(self, triad_ecm):
+        t = triad_ecm.multicore_runtime(1e9, cores=10, b_socket=40e9)
+        assert t == pytest.approx(1e9 / 40e9)
+
+    def test_saturation_cores(self, triad_ecm):
+        cores = triad_ecm.saturation_cores(40e9)
+        b1 = triad_ecm.single_core_bandwidth()
+        assert (cores - 1) * b1 < 40e9 <= cores * b1
+
+
+class TestValidation:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ECMModel(t_ol=-1, t_nol=0, t_l1l2=0, t_l2l3=0, t_l3mem=0)
+
+    def test_invalid_multicore_args(self, triad_ecm):
+        with pytest.raises(ValueError):
+            triad_ecm.multicore_runtime(1e9, cores=0, b_socket=40e9)
+        with pytest.raises(ValueError):
+            triad_ecm.multicore_runtime(1e9, cores=1, b_socket=0)

@@ -1,0 +1,66 @@
+"""Unit tests for the Hockney model and the paper's Eq. 1."""
+
+import pytest
+
+from repro.models.hockney import (
+    HockneyCommModel,
+    nonoverlap_runtime,
+    triad_strong_scaling_model,
+)
+
+
+class TestHockneyCommModel:
+    def test_time_formula(self):
+        m = HockneyCommModel(latency=1e-6, bandwidth=3e9)
+        assert m.time(3e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_effective_bandwidth_approaches_asymptote(self):
+        m = HockneyCommModel(latency=1e-6, bandwidth=3e9)
+        assert m.effective_bandwidth(1e9) == pytest.approx(3e9, rel=0.01)
+        assert m.effective_bandwidth(100) < 0.1 * 3e9
+
+    def test_half_performance_length(self):
+        m = HockneyCommModel(latency=1e-6, bandwidth=3e9)
+        n_half = m.half_performance_length()
+        assert m.effective_bandwidth(n_half) == pytest.approx(1.5e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HockneyCommModel(latency=-1, bandwidth=1)
+        with pytest.raises(ValueError):
+            HockneyCommModel(latency=0, bandwidth=0)
+
+
+class TestEq1:
+    def test_paper_defaults_at_one_socket(self):
+        # T(1) = 1.2e9/40e9 + 2*2e6/3e9 = 30 ms + 1.33 ms
+        t = triad_strong_scaling_model(1)
+        assert t == pytest.approx(1.2e9 / 40e9 + 4e6 / 3e9)
+
+    def test_execution_term_scales_communication_does_not(self):
+        t1 = triad_strong_scaling_model(1)
+        t2 = triad_strong_scaling_model(2)
+        comm = 4e6 / 3e9
+        assert t1 - comm == pytest.approx(2 * (t2 - comm))
+
+    def test_performance_model_shape(self):
+        """Eq. 1 predicts sublinear scaling: comm floor limits speedup."""
+        flops = 2 * 5e7
+        p = [flops / triad_strong_scaling_model(n) for n in (1, 4, 16)]
+        assert p[1] > p[0] and p[2] > p[1]
+        assert p[2] / p[0] < 16  # far below linear
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triad_strong_scaling_model(0)
+        with pytest.raises(ValueError):
+            triad_strong_scaling_model(1, b_mem=0)
+
+
+class TestNonoverlapRuntime:
+    def test_sum(self):
+        assert nonoverlap_runtime(3e-3, 1e-3) == pytest.approx(4e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nonoverlap_runtime(-1, 0)

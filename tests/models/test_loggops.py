@@ -1,0 +1,71 @@
+"""Unit tests for LogP/LogGP/LogGOPS parameter sets."""
+
+import pytest
+
+from repro.models.loggops import LogGOPSParams, LogGPParams, LogPParams
+from repro.sim.topology import CommDomain
+
+
+class TestLogP:
+    def test_message_time(self):
+        p = LogPParams(L=1e-6, o=2e-7, g=1e-6, P=16)
+        assert p.message_time() == pytest.approx(1.4e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogPParams(L=-1, o=0, g=0, P=2)
+        with pytest.raises(ValueError):
+            LogPParams(L=0, o=0, g=0, P=0)
+
+
+class TestLogGP:
+    def test_message_time_includes_per_byte_gap(self):
+        p = LogGPParams(L=1e-6, o=2e-7, g=1e-6, G=1e-9, P=16)
+        t1 = p.message_time(1)
+        t1k = p.message_time(1001)
+        assert t1k - t1 == pytest.approx(1000 * 1e-9)
+
+    def test_bandwidth_inverse_of_G(self):
+        p = LogGPParams(L=0, o=0, g=0, G=2e-10, P=2)
+        assert p.bandwidth() == pytest.approx(5e9)
+
+    def test_zero_G_infinite_bandwidth(self):
+        p = LogGPParams(L=0, o=0, g=0, G=0, P=2)
+        assert p.bandwidth() == float("inf")
+
+    def test_size_validation(self):
+        p = LogGPParams(L=0, o=0, g=0, G=0, P=2)
+        with pytest.raises(ValueError):
+            p.message_time(0)
+
+
+class TestLogGOPS:
+    def params(self):
+        return LogGOPSParams(L=1e-6, o=2e-7, g=1e-6, G=3.3e-10, O=5e-11,
+                             S=65536, P=16)
+
+    def test_overhead_grows_with_size(self):
+        p = self.params()
+        assert p.overhead_time(0) == pytest.approx(2e-7)
+        assert p.overhead_time(10_000) > p.overhead_time(0)
+
+    def test_rendezvous_threshold(self):
+        p = self.params()
+        assert not p.is_rendezvous(65536)
+        assert p.is_rendezvous(65537)
+
+    def test_message_time_composition(self):
+        p = self.params()
+        s = 1000
+        expected = 2 * (2e-7 + s * 5e-11) + 1e-6 + (s - 1) * 3.3e-10
+        assert p.message_time(s) == pytest.approx(expected)
+
+    def test_to_uniform_network_preserves_message_cost(self):
+        p = self.params()
+        net = p.to_uniform_network()
+        s = 100_000
+        # Total pingpong cost should match the LogGOPS message time closely
+        # (the O-term is folded into bandwidth).
+        assert net.total_pingpong_time(s, CommDomain.INTER_NODE) == pytest.approx(
+            p.message_time(s), rel=0.01
+        )

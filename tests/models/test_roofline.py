@@ -1,0 +1,64 @@
+"""Unit tests for the Roofline model."""
+
+import pytest
+
+from repro.models.roofline import RooflineModel
+
+
+@pytest.fixture
+def model():
+    # Ivy Bridge-like: 17.6 GF/s per core, 40 GB/s socket.
+    return RooflineModel(peak_flops=17.6e9, mem_bandwidth=40e9)
+
+
+class TestPerformance:
+    def test_memory_bound_capped_by_bandwidth(self, model):
+        # STREAM triad: 2 flops / 24 bytes = 1/12 flop/byte.
+        intensity = 2 / 24
+        p = model.performance(intensity, cores=10)
+        assert p == pytest.approx(intensity * 40e9)
+
+    def test_compute_bound_capped_by_peak(self, model):
+        p = model.performance(intensity=100.0, cores=1)
+        assert p == pytest.approx(17.6e9)
+
+    def test_peak_scales_with_cores(self, model):
+        assert model.performance(100.0, cores=4) == pytest.approx(4 * 17.6e9)
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ValueError):
+            model.performance(-1.0)
+        with pytest.raises(ValueError):
+            model.performance(1.0, cores=0)
+
+
+class TestRuntime:
+    def test_overlap_maximum(self, model):
+        # 1e9 flops over 1e9 bytes on one core:
+        t = model.runtime(flops=1e9, bytes_moved=1e9, cores=1)
+        assert t == pytest.approx(max(1e9 / 17.6e9, 1e9 / 40e9))
+
+    def test_memory_dominates_for_streaming(self, model):
+        t = model.runtime(flops=2e6, bytes_moved=24e6, cores=10)
+        assert t == pytest.approx(24e6 / 40e9)
+
+
+class TestBoundaries:
+    def test_is_memory_bound(self, model):
+        assert model.is_memory_bound(2 / 24, cores=10)
+        assert not model.is_memory_bound(100.0, cores=1)
+
+    def test_saturation_cores(self, model):
+        # Per-core roofline crossing at 40e9 * (2/24) / 17.6e9 -> 1 core
+        # already below bandwidth limit for high intensity.
+        cores = model.saturation_cores(2 / 24)
+        assert cores == 1  # bandwidth-bound even on one core at this peak
+
+    def test_saturation_cores_for_moderate_intensity(self):
+        model = RooflineModel(peak_flops=4e9, mem_bandwidth=40e9)
+        # flops per core low: need several cores to exhaust 40 GB/s * I.
+        assert model.saturation_cores(1.0) == 10
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            RooflineModel(peak_flops=0, mem_bandwidth=1)

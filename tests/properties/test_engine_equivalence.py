@@ -1,0 +1,90 @@
+"""Property-based contract: the DAG and lockstep engines agree exactly.
+
+The vectorized lockstep engine is a performance optimization of the
+authoritative DAG engine; on their shared domain (uniform network, standard
+lockstep pattern) the two must produce identical timestamps for *any*
+combination of pattern, protocol, noise, and injected delays.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    ExponentialNoise,
+    LockstepConfig,
+    Protocol,
+    SimConfig,
+    UniformNetwork,
+    build_exec_times,
+    build_lockstep_program,
+    simulate,
+    simulate_lockstep,
+)
+
+T = 3e-3
+
+
+@st.composite
+def lockstep_scenarios(draw):
+    n_ranks = draw(st.integers(min_value=3, max_value=14))
+    n_steps = draw(st.integers(min_value=2, max_value=10))
+    distance = draw(st.integers(min_value=1, max_value=min(3, (n_ranks - 1) // 2)))
+    direction = draw(st.sampled_from(list(Direction)))
+    periodic = draw(st.booleans())
+    protocol = draw(st.sampled_from([Protocol.EAGER, Protocol.RENDEZVOUS]))
+    noise_mean = draw(st.sampled_from([0.0, 1e-5, 3e-4]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n_delays = draw(st.integers(min_value=0, max_value=2))
+    delays = tuple(
+        DelaySpec(
+            rank=draw(st.integers(min_value=0, max_value=n_ranks - 1)),
+            step=draw(st.integers(min_value=0, max_value=n_steps - 1)),
+            duration=draw(st.sampled_from([T, 3 * T, 10 * T])),
+        )
+        for _ in range(n_delays)
+    )
+    noise = ExponentialNoise(noise_mean)
+    return LockstepConfig(
+        n_ranks=n_ranks,
+        n_steps=n_steps,
+        t_exec=T,
+        msg_size=8192,
+        pattern=CommPattern(direction=direction, distance=distance, periodic=periodic),
+        noise=noise,
+        delays=delays,
+        seed=seed,
+    ), protocol
+
+
+@given(lockstep_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_engines_produce_identical_timestamps(scenario):
+    cfg, protocol = scenario
+    net = UniformNetwork()
+    exec_times = build_exec_times(cfg)
+
+    trace = simulate(
+        build_lockstep_program(cfg, exec_times),
+        SimConfig(network=net, protocol=protocol),
+    )
+    result = simulate_lockstep(cfg, exec_times=exec_times, network=net, protocol=protocol)
+
+    np.testing.assert_allclose(
+        result.completion, trace.completion_matrix(), rtol=0, atol=1e-12,
+        err_msg=f"completion mismatch for {cfg.pattern} proto={protocol}",
+    )
+    np.testing.assert_allclose(
+        result.exec_end, trace.exec_end_matrix(), rtol=0, atol=1e-12,
+    )
+
+
+@given(lockstep_scenarios())
+@settings(max_examples=30, deadline=None)
+def test_lockstep_trace_roundtrip_valid(scenario):
+    cfg, protocol = scenario
+    result = simulate_lockstep(cfg, protocol=protocol)
+    result.to_trace().validate()

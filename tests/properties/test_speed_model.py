@@ -1,0 +1,76 @@
+"""Property-based validation of the Eq. 2 speed model.
+
+On a noise-free system, for any admissible combination of execution time,
+message size, neighbor distance, direction and protocol, the measured
+leading-edge speed must match sigma*d/(T_exec + T_comm) to within 1 %.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import measure_speed, silent_speed
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    LockstepConfig,
+    Protocol,
+    UniformNetwork,
+    simulate_lockstep,
+)
+from repro.sim.topology import CommDomain
+
+
+@st.composite
+def speed_scenarios(draw):
+    t_exec = draw(st.sampled_from([1e-3, 3e-3, 5e-3]))
+    msg_size = draw(st.sampled_from([1024, 8192, 262144]))
+    d = draw(st.integers(min_value=1, max_value=2))
+    direction = draw(st.sampled_from(list(Direction)))
+    protocol = draw(st.sampled_from([Protocol.EAGER, Protocol.RENDEZVOUS]))
+    return t_exec, msg_size, d, direction, protocol
+
+
+@given(speed_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_measured_speed_matches_eq2(scenario):
+    t_exec, msg_size, d, direction, protocol = scenario
+    n_ranks = 20
+    source = n_ranks // 2
+    net = UniformNetwork()
+
+    cfg = LockstepConfig(
+        n_ranks=n_ranks,
+        n_steps=16,
+        t_exec=t_exec,
+        msg_size=msg_size,
+        pattern=CommPattern(direction=direction, distance=d, periodic=False),
+        delays=(DelaySpec(rank=source, step=0, duration=6 * t_exec),),
+    )
+    run = simulate_lockstep(cfg, network=net, protocol=protocol)
+    measured = measure_speed(run, source=source, direction=+1).speed
+
+    t_comm = net.total_pingpong_time(msg_size, CommDomain.INTER_NODE)
+    model = silent_speed(
+        t_exec,
+        t_comm,
+        d=d,
+        bidirectional=direction == Direction.BIDIRECTIONAL,
+        rendezvous=protocol == Protocol.RENDEZVOUS,
+    )
+    assert measured == pytest.approx(model, rel=0.01)
+
+
+@given(
+    t_exec=st.floats(min_value=1e-4, max_value=1e-1),
+    t_comm=st.floats(min_value=0.0, max_value=1e-2),
+    d=st.integers(min_value=1, max_value=8),
+)
+def test_silent_speed_scaling_laws(t_exec, t_comm, d):
+    """Pure model properties: linear in d, sigma doubles, monotone in times."""
+    v = silent_speed(t_exec, t_comm, d=d)
+    assert v == pytest.approx(d * silent_speed(t_exec, t_comm, d=1))
+    v2 = silent_speed(t_exec, t_comm, d=d, bidirectional=True, rendezvous=True)
+    assert v2 == pytest.approx(2 * v)
+    assert silent_speed(t_exec * 2, t_comm, d=d) < v

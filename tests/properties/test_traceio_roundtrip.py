@@ -1,0 +1,66 @@
+"""Property-based round-trip test for trace serialization."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    ExponentialNoise,
+    LockstepConfig,
+    SimConfig,
+    build_lockstep_program,
+    simulate,
+)
+from repro.sim.traceio import read_jsonl, write_jsonl
+
+T = 3e-3
+
+
+@st.composite
+def traces(draw):
+    n_ranks = draw(st.integers(min_value=2, max_value=8))
+    n_steps = draw(st.integers(min_value=1, max_value=5))
+    direction = draw(st.sampled_from(list(Direction)))
+    periodic = draw(st.booleans())
+    noise = ExponentialNoise(draw(st.sampled_from([0.0, 1e-4])))
+    n_delays = draw(st.integers(min_value=0, max_value=1))
+    delays = tuple(
+        DelaySpec(
+            rank=draw(st.integers(min_value=0, max_value=n_ranks - 1)),
+            step=draw(st.integers(min_value=0, max_value=n_steps - 1)),
+            duration=5 * T,
+        )
+        for _ in range(n_delays)
+    )
+    cfg = LockstepConfig(
+        n_ranks=n_ranks, n_steps=n_steps, t_exec=T,
+        pattern=CommPattern(direction=direction, distance=1, periodic=periodic),
+        noise=noise, delays=delays,
+        seed=draw(st.integers(min_value=0, max_value=100)),
+    )
+    return simulate(build_lockstep_program(cfg), SimConfig())
+
+
+@given(traces())
+@settings(max_examples=25, deadline=None)
+def test_jsonl_roundtrip_is_lossless(trace):
+    buf = io.StringIO()
+    write_jsonl(trace, buf)
+    buf.seek(0)
+    back = read_jsonl(buf)
+
+    assert (back.n_ranks, back.n_steps) == (trace.n_ranks, trace.n_steps)
+    assert len(back.records) == len(trace.records)
+    for a, b in zip(trace.records, back.records):
+        assert (a.rank, a.step, a.kind, a.peer, a.size) == (
+            b.rank, b.step, b.kind, b.peer, b.size
+        )
+        # float repr round-trips exactly through JSON
+        assert a.start == b.start and a.end == b.end
+    np.testing.assert_array_equal(back.idle_matrix(), trace.idle_matrix())
+    back.validate()

@@ -1,0 +1,66 @@
+"""Unit tests for random delay campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.sim.campaign import DelayCampaign
+
+T = 3e-3
+
+
+class TestDelayCampaign:
+    def campaign(self, rate=0.05):
+        return DelayCampaign(rate=rate, duration_low=2 * T, duration_high=8 * T)
+
+    def test_draw_within_bounds(self):
+        rng = np.random.default_rng(0)
+        specs = self.campaign().draw(40, 30, rng)
+        assert specs
+        for spec in specs:
+            assert 0 <= spec.rank < 40
+            assert 0 <= spec.step < 30
+            assert spec.duration >= 2 * T
+
+    def test_expected_count_tracks_draws(self):
+        rng = np.random.default_rng(1)
+        campaign = self.campaign(rate=0.05)
+        counts = [len(campaign.draw(40, 30, rng)) for _ in range(30)]
+        expected = campaign.expected_count(40, 30)
+        # Merged multi-arrival cells make the draw count <= Poisson count.
+        assert np.mean(counts) == pytest.approx(expected, rel=0.15)
+
+    def test_expected_injected_time(self):
+        campaign = self.campaign(rate=0.01)
+        assert campaign.expected_injected_time(100, 20) == pytest.approx(
+            0.01 * 100 * 20 * 5 * T
+        )
+
+    def test_zero_rate_injects_nothing(self):
+        rng = np.random.default_rng(2)
+        campaign = DelayCampaign(rate=0.0, duration_low=T, duration_high=T)
+        assert campaign.draw(10, 10, rng) == ()
+
+    def test_at_most_one_spec_per_cell(self):
+        rng = np.random.default_rng(3)
+        specs = self.campaign(rate=2.0).draw(5, 5, rng)  # heavy multi-arrivals
+        cells = [(s.rank, s.step) for s in specs]
+        assert len(cells) == len(set(cells))
+
+    def test_multi_arrivals_merge_durations(self):
+        rng = np.random.default_rng(4)
+        specs = DelayCampaign(rate=5.0, duration_low=T, duration_high=T).draw(2, 2, rng)
+        # With rate 5 per cell and fixed duration T, merged cells exceed T.
+        assert max(s.duration for s in specs) > 1.5 * T
+
+    def test_deterministic_given_rng(self):
+        a = self.campaign().draw(20, 20, np.random.default_rng(9))
+        b = self.campaign().draw(20, 20, np.random.default_rng(9))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayCampaign(rate=-1, duration_low=0, duration_high=1)
+        with pytest.raises(ValueError):
+            DelayCampaign(rate=1, duration_low=2, duration_high=1)
+        with pytest.raises(ValueError):
+            self.campaign().draw(0, 5, np.random.default_rng(0))

@@ -1,0 +1,112 @@
+"""Unit tests for the vectorized lockstep engine."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    CommPattern,
+    DelaySpec,
+    Direction,
+    ExponentialNoise,
+    LockstepConfig,
+    Protocol,
+    UniformNetwork,
+    simulate_lockstep,
+)
+
+T = 3e-3
+
+
+def cfg(**kw):
+    base = dict(n_ranks=10, n_steps=12, t_exec=T, msg_size=8192)
+    base.update(kw)
+    pattern_kw = {}
+    for key in ("direction", "distance", "periodic"):
+        if key in base:
+            pattern_kw[key] = base.pop(key)
+    if pattern_kw:
+        base["pattern"] = CommPattern(**pattern_kw)
+    return LockstepConfig(**base)
+
+
+class TestLockstepResult:
+    def test_matrix_shapes(self):
+        res = simulate_lockstep(cfg())
+        assert res.exec_end.shape == (10, 12)
+        assert res.completion.shape == (10, 12)
+        assert res.n_ranks == 10 and res.n_steps == 12
+
+    def test_monotone_time_per_rank(self):
+        res = simulate_lockstep(cfg(noise=ExponentialNoise(1e-4)))
+        assert (np.diff(res.completion, axis=1) > 0).all()
+        assert (res.completion >= res.post_end).all()
+        assert (res.post_end >= res.exec_end).all()
+        assert (res.exec_end > res.exec_start).all()
+
+    def test_idle_matrix_nonnegative(self):
+        res = simulate_lockstep(cfg(noise=ExponentialNoise(2e-4), seed=3))
+        assert (res.idle_matrix() >= 0).all()
+
+    def test_total_runtime_is_last_completion(self):
+        res = simulate_lockstep(cfg())
+        assert res.total_runtime() == res.completion[:, -1].max()
+
+    def test_to_trace_roundtrip(self):
+        res = simulate_lockstep(cfg(noise=ExponentialNoise(1e-4)))
+        trace = res.to_trace()
+        trace.validate()
+        np.testing.assert_allclose(trace.completion_matrix(), res.completion)
+        np.testing.assert_allclose(trace.exec_end_matrix(), res.exec_end)
+        np.testing.assert_allclose(trace.idle_matrix(), res.idle_matrix(), atol=1e-15)
+
+
+class TestLockstepSemantics:
+    def test_delay_propagates_forward_eager(self):
+        c = cfg(delays=(DelaySpec(rank=3, step=0, duration=5 * T),))
+        res = simulate_lockstep(c)
+        idle = res.idle_matrix()
+        assert idle[4, 0] > T
+        assert idle[2].max() < 0.1 * T
+
+    def test_rendezvous_blocks_sender(self):
+        c = cfg(delays=(DelaySpec(rank=3, step=0, duration=5 * T),))
+        res = simulate_lockstep(c, protocol=Protocol.RENDEZVOUS)
+        assert res.idle_matrix()[2, 0] > T
+
+    def test_sigma_two_coupling_for_bidirectional_rendezvous(self):
+        c = cfg(
+            direction=Direction.BIDIRECTIONAL,
+            delays=(DelaySpec(rank=5, step=0, duration=5 * T),),
+        )
+        res = simulate_lockstep(c, protocol=Protocol.RENDEZVOUS)
+        idle = res.idle_matrix()
+        assert idle[7, 0] > T  # two hops in step 0
+        assert idle[8, 0] < 0.1 * T
+
+    def test_exec_times_override(self):
+        c = cfg(n_ranks=4, n_steps=3)
+        times = np.full((4, 3), 2 * T)
+        res = simulate_lockstep(c, exec_times=times)
+        assert res.total_runtime() == pytest.approx(6 * T, rel=0.01)
+
+    def test_wrong_exec_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            simulate_lockstep(cfg(), exec_times=np.zeros((3, 3)))
+
+    def test_custom_network_changes_comm_time(self):
+        # On a 10-rank open chain the critical path crosses at most 9 links,
+        # so 1 ms of extra latency adds ~9 ms.
+        slow = UniformNetwork(latency=1e-3, bandwidth=1e9)
+        res_fast = simulate_lockstep(cfg())
+        res_slow = simulate_lockstep(cfg(), network=slow)
+        assert res_slow.total_runtime() > res_fast.total_runtime() + 8e-3
+
+    def test_meta_records_protocol_and_flight(self):
+        res = simulate_lockstep(cfg(msg_size=500_000))
+        assert res.meta["protocol"] == "rendezvous"
+        assert res.meta["flight"] > 0
+
+    def test_two_rank_periodic_ring_runs(self):
+        c = cfg(n_ranks=2, direction=Direction.BIDIRECTIONAL, periodic=True)
+        res = simulate_lockstep(c)
+        assert res.total_runtime() == pytest.approx(12 * T, rel=0.01)

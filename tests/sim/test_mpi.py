@@ -1,0 +1,86 @@
+"""Unit tests for protocol selection and message matching."""
+
+import pytest
+
+from repro.sim.mpi import (
+    DEFAULT_EAGER_LIMIT,
+    MessageMatcher,
+    Protocol,
+    select_protocol,
+)
+
+
+class TestSelectProtocol:
+    def test_small_messages_go_eager(self):
+        assert select_protocol(8192) == Protocol.EAGER
+
+    def test_limit_is_inclusive(self):
+        assert select_protocol(DEFAULT_EAGER_LIMIT) == Protocol.EAGER
+        assert select_protocol(DEFAULT_EAGER_LIMIT + 1) == Protocol.RENDEZVOUS
+
+    def test_forced_protocol_overrides_size(self):
+        assert select_protocol(8, forced=Protocol.RENDEZVOUS) == Protocol.RENDEZVOUS
+        assert select_protocol(10**9, forced=Protocol.EAGER) == Protocol.EAGER
+
+    def test_custom_limit(self):
+        assert select_protocol(100, eager_limit=50) == Protocol.RENDEZVOUS
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            select_protocol(-1)
+
+
+class TestMessageMatcher:
+    def test_send_then_recv_matches(self):
+        m = MessageMatcher()
+        assert m.add_send(0, 1, tag=0, size=8, node=10) is None
+        match = m.add_recv(0, 1, tag=0, node=20)
+        assert match is not None
+        assert (match.send_node, match.recv_node) == (10, 20)
+        assert match.size == 8
+
+    def test_recv_then_send_matches(self):
+        m = MessageMatcher()
+        assert m.add_recv(0, 1, tag=0, node=20) is None
+        match = m.add_send(0, 1, tag=0, size=8, node=10)
+        assert match is not None
+
+    def test_fifo_order_per_channel(self):
+        """MPI non-overtaking: n-th send matches n-th recv."""
+        m = MessageMatcher()
+        m.add_send(0, 1, tag=0, size=8, node=1)
+        m.add_send(0, 1, tag=0, size=8, node=2)
+        first = m.add_recv(0, 1, tag=0, node=11)
+        second = m.add_recv(0, 1, tag=0, node=12)
+        assert first.send_node == 1
+        assert second.send_node == 2
+
+    def test_tags_separate_channels(self):
+        m = MessageMatcher()
+        m.add_send(0, 1, tag=7, size=8, node=1)
+        assert m.add_recv(0, 1, tag=8, node=2) is None  # different tag
+        assert m.add_recv(0, 1, tag=7, node=3) is not None
+
+    def test_directions_are_distinct_channels(self):
+        m = MessageMatcher()
+        m.add_send(0, 1, tag=0, size=8, node=1)
+        assert m.add_recv(1, 0, tag=0, node=2) is None  # 1->0, not 0->1
+
+    def test_finish_returns_all_matches(self):
+        m = MessageMatcher()
+        for i in range(3):
+            m.add_send(0, 1, tag=i, size=8, node=i)
+            m.add_recv(0, 1, tag=i, node=100 + i)
+        assert len(m.finish()) == 3
+
+    def test_finish_rejects_unmatched_send(self):
+        m = MessageMatcher()
+        m.add_send(0, 1, tag=0, size=8, node=1)
+        with pytest.raises(ValueError, match="unmatched"):
+            m.finish()
+
+    def test_finish_rejects_unmatched_recv(self):
+        m = MessageMatcher()
+        m.add_recv(0, 1, tag=0, node=1)
+        with pytest.raises(ValueError, match="unmatched"):
+            m.finish()

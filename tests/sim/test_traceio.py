@@ -1,0 +1,95 @@
+"""Unit tests for trace serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DelaySpec,
+    LockstepConfig,
+    SimConfig,
+    build_lockstep_program,
+    simulate,
+)
+from repro.sim.traceio import read_jsonl, write_csv, write_jsonl
+
+T = 3e-3
+
+
+@pytest.fixture
+def trace():
+    cfg = LockstepConfig(
+        n_ranks=5, n_steps=4, t_exec=T,
+        delays=(DelaySpec(rank=2, step=0, duration=2 * T),),
+    )
+    return simulate(build_lockstep_program(cfg), SimConfig())
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip_preserves_records(self, trace):
+        buf = io.StringIO()
+        write_jsonl(trace, buf)
+        buf.seek(0)
+        back = read_jsonl(buf)
+        assert back.n_ranks == trace.n_ranks
+        assert back.n_steps == trace.n_steps
+        assert len(back.records) == len(trace.records)
+        np.testing.assert_allclose(
+            back.completion_matrix(), trace.completion_matrix()
+        )
+        np.testing.assert_allclose(back.idle_matrix(), trace.idle_matrix())
+
+    def test_roundtrip_via_file(self, trace, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(trace, path)
+        back = read_jsonl(path)
+        back.validate()
+        assert back.total_runtime() == pytest.approx(trace.total_runtime())
+
+    def test_meta_survives_where_serializable(self, trace):
+        buf = io.StringIO()
+        write_jsonl(trace, buf)
+        buf.seek(0)
+        back = read_jsonl(buf)
+        assert back.meta["t_exec"] == pytest.approx(T)
+        # Non-serializable entries (pattern objects, delay tuples) become strings.
+        assert isinstance(back.meta["pattern"], str)
+
+
+class TestJsonlErrors:
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_jsonl(io.StringIO(""))
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ValueError, match="not a repro trace"):
+            read_jsonl(io.StringIO('{"format": "otel"}\n'))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            read_jsonl(io.StringIO(
+                '{"format": "repro-trace", "version": 99, "n_ranks": 1, "n_steps": 1}\n'
+            ))
+
+    def test_malformed_record_rejected(self):
+        buf = io.StringIO(
+            '{"format": "repro-trace", "version": 1, "n_ranks": 1, "n_steps": 1}\n'
+            '{"rank": 0}\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_jsonl(buf)
+
+
+class TestCsv:
+    def test_header_and_row_count(self, trace):
+        buf = io.StringIO()
+        write_csv(trace, buf)
+        lines = buf.getvalue().splitlines()
+        assert lines[0] == "rank,step,kind,start,end,peer,size"
+        assert len(lines) == 1 + len(trace.records)
+
+    def test_csv_to_file(self, trace, tmp_path):
+        path = tmp_path / "run.csv"
+        write_csv(trace, path)
+        assert path.read_text().startswith("rank,step,kind")

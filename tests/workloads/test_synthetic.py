@@ -1,0 +1,71 @@
+"""Unit tests for the synthetic execution-time generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    constant_times,
+    imbalanced_times,
+    ramp_times,
+)
+
+
+class TestConstantTimes:
+    def test_shape_and_value(self):
+        t = constant_times(4, 6, 3e-3)
+        assert t.shape == (4, 6)
+        np.testing.assert_allclose(t, 3e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_times(0, 5, 1e-3)
+        with pytest.raises(ValueError):
+            constant_times(4, 6, 0.0)
+
+
+class TestImbalancedTimes:
+    def test_slow_ranks_scaled(self):
+        t = imbalanced_times(4, 3, 1e-3, slow_ranks=[1], factor=2.0)
+        np.testing.assert_allclose(t[1], 2e-3)
+        np.testing.assert_allclose(t[0], 1e-3)
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(IndexError):
+            imbalanced_times(4, 3, 1e-3, slow_ranks=[4], factor=2.0)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            imbalanced_times(4, 3, 1e-3, slow_ranks=[0], factor=0.0)
+
+
+class TestRampTimes:
+    def test_linear_between_bounds(self):
+        t = ramp_times(5, 2, 1e-3, 2e-3)
+        assert t[0, 0] == pytest.approx(1e-3)
+        assert t[-1, 0] == pytest.approx(2e-3)
+        assert (np.diff(t[:, 0]) > 0).all()
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            ramp_times(5, 2, 2e-3, 1e-3)
+
+
+class TestSyntheticWorkload:
+    def test_dispatch_constant(self):
+        w = SyntheticWorkload(kind="constant", t_exec=2e-3)
+        np.testing.assert_allclose(w.generate(3, 4), 2e-3)
+
+    def test_dispatch_imbalanced(self):
+        w = SyntheticWorkload(kind="imbalanced", slow_ranks=(0,), factor=3.0)
+        t = w.generate(3, 2)
+        assert t[0, 0] == pytest.approx(3 * t[1, 0])
+
+    def test_dispatch_ramp(self):
+        w = SyntheticWorkload(kind="ramp", t_exec=1e-3)
+        t = w.generate(4, 2)
+        assert t[-1, 0] == pytest.approx(2e-3)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SyntheticWorkload(kind="bogus").generate(2, 2)
