@@ -1,11 +1,14 @@
 """Benchmark: the random-delay-campaign extension experiment.
 
-Regenerates the injection-rate scan and asserts the sublinear cost law:
-the marginal runtime cost per injected delay-second falls monotonically
-with the rate (wave cancellation at the system level).
+Regenerates the injection-rate scan — now executed through the parallel
+campaign runtime (``repro.runtime``) — and asserts the sublinear cost
+law: the marginal runtime cost per injected delay-second falls
+monotonically with the rate (wave cancellation at the system level).
+Also asserts the runtime contract: a warm-cache rerun reproduces the
+scan bit-identically without simulating anything.
 """
 
-from repro.experiments import run_experiment
+from repro.experiments import RuntimeOptions, run_experiment
 
 
 def test_bench_ext_campaign(once):
@@ -18,3 +21,14 @@ def test_bench_ext_campaign(once):
     assert all(b < a for a, b in zip(ratios, ratios[1:]))
     assert ratios[0] > 0.8  # sparse campaign: nearly full cost
     assert ratios[-1] < 0.5  # dense campaign: heavily absorbed
+
+
+def test_bench_ext_campaign_warm_cache(once, tmp_path):
+    """Second invocation is served from the store and is bit-identical."""
+    opts = RuntimeOptions(jobs=1, cache_dir=tmp_path / "store")
+    cold = run_experiment("ext_campaign", fast=True, runtime=opts)
+    warm = once(run_experiment, "ext_campaign", fast=True, runtime=opts)
+
+    assert warm.data == cold.data
+    assert any("0 simulated" in note and "0 from cache" not in note
+               for note in warm.notes)

@@ -2,10 +2,18 @@
 
 Usage::
 
-    repro-experiment fig4            # fast variant of the Fig. 4 study
-    repro-experiment fig8 --full     # paper-sized run counts
-    repro-experiment all --seed 3    # everything
-    python -m repro fig5             # module form
+    repro-experiment fig4                 # fast variant of the Fig. 4 study
+    repro-experiment fig8 --full          # paper-sized run counts
+    repro-experiment all --seed 3         # everything
+    repro-experiment ext_campaign --jobs 4 --cache-dir ~/.cache/repro
+    python -m repro fig5                  # module form
+
+Campaign-style experiments execute through the parallel campaign runtime
+(:mod:`repro.runtime`): ``--jobs N`` shards their independent runs over N
+worker processes (``--jobs 0`` auto-detects the CPU count) and
+``--cache-dir`` enables the content-addressed on-disk result store, so a
+repeated invocation skips every already-simulated run.  Results are
+bit-identical for a given ``--seed`` regardless of ``--jobs``.
 """
 
 from __future__ import annotations
@@ -13,8 +21,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, RuntimeOptions, run_experiment
 
 __all__ = ["main", "build_parser"]
 
@@ -39,18 +48,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-sized parameters (slower; default is a fast variant)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for campaign experiments "
+            "(default 1 = serial, 0 = auto-detect CPU count)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store; repeated runs skip cached work",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything even if --cache-dir has results",
+    )
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    run_all = args.experiment == "all"
+    names = sorted(EXPERIMENTS) if run_all else [args.experiment]
+    runtime = RuntimeOptions(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+
+    failures: "list[tuple[str, BaseException]]" = []
     for name in names:
         t0 = time.perf_counter()
-        result = run_experiment(name, fast=not args.full, seed=args.seed)
+        try:
+            result = run_experiment(
+                name, fast=not args.full, seed=args.seed, runtime=runtime
+            )
+        except Exception as exc:  # noqa: BLE001 — keep the campaign going
+            elapsed = time.perf_counter() - t0
+            failures.append((name, exc))
+            traceback.print_exc(file=sys.stderr)
+            print(f"\n[{name} FAILED after {elapsed:.1f}s: {exc}]\n")
+            continue
         elapsed = time.perf_counter() - t0
         print(result.render())
         print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+
+    if run_all:
+        n_ok = len(names) - len(failures)
+        print(f"[summary: {n_ok}/{len(names)} experiments succeeded]")
+    if failures:
+        for name, exc in failures:
+            print(f"[FAILED {name}: {type(exc).__name__}: {exc}]")
+        return 1
     return 0
 
 

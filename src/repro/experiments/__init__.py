@@ -5,6 +5,7 @@ registry maps experiment ids to those entry points; the CLI and the
 benchmark harness both resolve through it.
 """
 
+import inspect
 from typing import Callable
 
 from repro.experiments import (
@@ -23,9 +24,9 @@ from repro.experiments import (
     fig8_decay_rate,
     fig9_elimination,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, RuntimeOptions
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]
+__all__ = ["EXPERIMENTS", "ExperimentResult", "RuntimeOptions", "run_experiment"]
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1": fig1_stream_scaling.run,
@@ -46,9 +47,24 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, fast: bool = True, seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id ("fig1" .. "fig9", "eq2")."""
+def run_experiment(
+    name: str,
+    fast: bool = True,
+    seed: int = 0,
+    runtime: "RuntimeOptions | None" = None,
+) -> ExperimentResult:
+    """Run one experiment by id ("fig1" .. "fig9", "eq2").
+
+    ``runtime`` (parallelism and result caching, see
+    :class:`~repro.experiments.base.RuntimeOptions`) is forwarded to
+    campaign-style drivers that declare a ``runtime`` parameter; drivers
+    without campaign structure simply ignore it.
+    """
     key = name.strip().lower()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key](fast=fast, seed=seed)
+    driver = EXPERIMENTS[key]
+    kwargs = {}
+    if runtime is not None and "runtime" in inspect.signature(driver).parameters:
+        kwargs["runtime"] = runtime
+    return driver(fast=fast, seed=seed, **kwargs)

@@ -1,0 +1,102 @@
+"""Reduction helpers for campaign results.
+
+Campaign analyses consume many per-run result dicts and reduce them to
+summary statistics (mean / std / percentiles) or group them by a sweep
+parameter before reducing.  These helpers keep that logic in one place
+and operate on plain values, :class:`~repro.runtime.executor.TaskResult`
+objects, or whole :class:`~repro.runtime.executor.CampaignResult`
+campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["collect", "group_by_param", "reduce_runs", "summarize"]
+
+
+def _values(runs: Any) -> "list[Mapping]":
+    """Accept a CampaignResult, TaskResults, or plain value mappings."""
+    if hasattr(runs, "values") and callable(runs.values) and hasattr(runs, "results"):
+        return runs.values()  # CampaignResult
+    out = []
+    for run in runs:
+        if hasattr(run, "ok"):  # TaskResult
+            if run.ok:
+                out.append(run.value)
+        else:
+            out.append(run)
+    return out
+
+
+def collect(runs: Any, field: str) -> np.ndarray:
+    """Gather one numeric field across runs into an array (task order)."""
+    values = _values(runs)
+    try:
+        return np.asarray([v[field] for v in values], dtype=float)
+    except KeyError as exc:
+        raise KeyError(
+            f"field {field!r} missing from a run result; available fields "
+            f"of the first run: {sorted(values[0]) if values else '[]'}"
+        ) from exc
+
+
+def summarize(samples: "Iterable[float]",
+              percentiles: "tuple[float, ...]" = (50.0, 95.0)) -> dict:
+    """Mean / std / min / max / percentile summary of one sample set."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    out = {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+    for q in percentiles:
+        out[f"p{q:g}"] = float(np.percentile(arr, q))
+    return out
+
+
+def reduce_runs(runs: Any, fields: "Iterable[str] | None" = None,
+                percentiles: "tuple[float, ...]" = (50.0, 95.0)) -> dict:
+    """Summary statistics per field across a campaign's runs.
+
+    ``fields`` defaults to every numeric field of the first run.
+    Returns ``{field: {"n", "mean", "std", "min", "max", "p50", ...}}``.
+    """
+    values = _values(runs)
+    if not values:
+        raise ValueError("cannot reduce an empty campaign")
+    if fields is None:
+        fields = [k for k, v in values[0].items()
+                  if isinstance(v, (int, float, np.integer, np.floating))
+                  and not isinstance(v, bool)]
+    return {field: summarize(collect(values, field), percentiles)
+            for field in fields}
+
+
+def group_by_param(results: Any, param: str) -> dict:
+    """Group successful task results by one sweep-parameter value.
+
+    Takes :class:`TaskResult` objects (or a whole campaign) and returns
+    an insertion-ordered ``{param_value: [value_dict, ...]}`` mapping —
+    the shape the rate/level scans consume.
+    """
+    if hasattr(results, "results"):
+        results = results.results  # CampaignResult
+    grouped: dict = {}
+    for result in results:
+        if not result.ok:
+            continue
+        kwargs = result.spec.kwargs
+        if param not in kwargs:
+            raise KeyError(
+                f"task {result.index} has no parameter {param!r}; "
+                f"available: {sorted(kwargs)}"
+            )
+        grouped.setdefault(kwargs[param], []).append(result.value)
+    return grouped

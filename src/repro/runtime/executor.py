@@ -1,0 +1,284 @@
+"""Campaign execution: serial and process-pool backends.
+
+:func:`run_campaign` takes an ordered collection of
+:class:`~repro.runtime.spec.RunSpec` tasks and executes the cache misses
+on one of two backends:
+
+- **serial** (``jobs=1``, the default): runs tasks in order in the
+  current process — zero overhead, trivially debuggable.
+- **process pool** (``jobs>1`` or ``jobs=0`` for CPU-count auto-detect):
+  shards tasks across a ``concurrent.futures.ProcessPoolExecutor`` and
+  streams results back *as they complete* (an ``on_result`` callback
+  fires in completion order), while the returned campaign keeps task
+  order.
+
+Because per-task seeds are baked into the specs before execution (see
+:mod:`repro.runtime.seeding`), both backends produce bit-identical
+results for the same campaign — sharding changes wall-clock time, never
+values.
+
+A failing task never kills the campaign: the exception (with its
+traceback, captured inside the worker) is recorded on that task's
+:class:`TaskResult` and every other shard proceeds.  Even a hard worker
+death (segfault, OOM kill) only fails the tasks it takes down — the
+campaign still returns a complete :class:`CampaignResult`.  Callers
+decide whether failures are fatal via :attr:`CampaignResult.failures`
+or :meth:`CampaignResult.raise_failures`.  ``KeyboardInterrupt`` /
+``SystemExit`` in the calling process are *not* treated as task
+failures: they abort the campaign as usual.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import ResultStore
+
+__all__ = [
+    "CampaignResult",
+    "TaskError",
+    "TaskResult",
+    "resolve_jobs",
+    "run_campaign",
+]
+
+# Pending-future window per worker: enough to keep the pool saturated
+# without materializing one future per task for huge sweeps.
+_INFLIGHT_PER_JOB = 4
+
+
+class TaskError(RuntimeError):
+    """Raised by :meth:`CampaignResult.raise_failures` when tasks failed."""
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Outcome of one campaign task.
+
+    Exactly one of ``value`` (success) and ``error`` (failure) is set;
+    ``cached`` marks results served from the store without execution.
+    ``duration`` is the task's own wall-clock seconds (0 for cache hits).
+    """
+
+    spec: RunSpec
+    value: "Mapping | None" = None
+    error: "str | None" = None
+    cached: bool = False
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def index(self) -> int:
+        return self.spec.index
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All task outcomes of one campaign, in task (spec) order."""
+
+    results: "tuple[TaskResult, ...]"
+    jobs: int = 1
+    elapsed: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def values(self) -> "list[Mapping]":
+        """Values of the successful tasks, in task order."""
+        return [r.value for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> "tuple[TaskResult, ...]":
+        return tuple(r for r in self.results if not r.ok)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for r in self.results if r.ok and not r.cached)
+
+    def raise_failures(self) -> "CampaignResult":
+        """Raise :class:`TaskError` if any task failed; else return self."""
+        if self.failures:
+            first = self.failures[0]
+            raise TaskError(
+                f"{len(self.failures)}/{len(self.results)} campaign tasks "
+                f"failed; first failure (task {first.index}, {first.spec.fn}):\n"
+                f"{first.error}"
+            )
+        return self
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalize a ``--jobs`` value: ``None``/1 → serial, <=0 → CPU count."""
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs <= 0:
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+def _execute(spec: RunSpec) -> "tuple[str, Any, float]":
+    """Worker entry point: run one task, capturing any exception.
+
+    Returns ``("ok", value, duration)`` or ``("error", traceback_text,
+    duration)`` so that failures — including ones whose exception types
+    would not survive pickling — travel back to the parent as plain
+    data.  The duration is measured here, around the task code itself,
+    so pool queue wait never inflates it.  ``KeyboardInterrupt`` and
+    ``SystemExit`` propagate: in the serial backend they must abort the
+    campaign, and in a worker the pool machinery reports them anyway.
+    """
+    t0 = time.perf_counter()
+    try:
+        value = spec.call()
+    except Exception:  # noqa: BLE001 — isolation is the whole point
+        return "error", traceback.format_exc(), time.perf_counter() - t0
+    return "ok", value, time.perf_counter() - t0
+
+
+def _as_task_result(spec: RunSpec, status: str, payload: Any,
+                    duration: float) -> TaskResult:
+    if status == "ok":
+        if not isinstance(payload, Mapping):
+            return TaskResult(
+                spec=spec,
+                error=(
+                    f"task returned {type(payload).__name__}, expected a "
+                    "mapping of named result fields"
+                ),
+                duration=duration,
+            )
+        return TaskResult(spec=spec, value=payload, duration=duration)
+    return TaskResult(spec=spec, error=str(payload), duration=duration)
+
+
+def run_campaign(
+    specs: "Iterable[RunSpec]",
+    *,
+    jobs: "int | None" = 1,
+    store: "ResultStore | None" = None,
+    on_result: "Callable[[TaskResult], None] | None" = None,
+) -> CampaignResult:
+    """Execute a campaign of tasks, sharded and cached.
+
+    Parameters
+    ----------
+    specs:
+        The tasks, typically ``SweepSpec.tasks()``.  Order defines the
+        order of :attr:`CampaignResult.results`.
+    jobs:
+        Parallelism: 1 (default) runs serially in-process, N>1 shards
+        over N worker processes, 0 auto-detects the CPU count.
+    store:
+        Optional :class:`~repro.runtime.store.ResultStore`.  Hits skip
+        execution entirely; fresh results are persisted on completion.
+    on_result:
+        Streaming callback, invoked in completion order (cache hits
+        first) from the calling process.
+
+    Returns
+    -------
+    CampaignResult
+        Per-task outcomes in task order.  Failed tasks carry their
+        worker traceback instead of a value; they never abort siblings.
+    """
+    specs = tuple(specs)
+    jobs = resolve_jobs(jobs)
+    t0 = time.perf_counter()
+    slots: "list[TaskResult | None]" = [None] * len(specs)
+
+    def finish(pos: int, result: TaskResult) -> None:
+        slots[pos] = result
+        if store is not None and result.ok and not result.cached:
+            store.put(result.spec.key, result.value, spec=result.spec.describe())
+        if on_result is not None:
+            on_result(result)
+
+    pending: "list[tuple[int, RunSpec]]" = []
+    for pos, spec in enumerate(specs):
+        cached = store.get(spec.key) if store is not None else None
+        if cached is not None:
+            finish(pos, TaskResult(spec=spec, value=cached, cached=True))
+        else:
+            pending.append((pos, spec))
+
+    if jobs == 1 or len(pending) <= 1:
+        for pos, spec in pending:
+            finish(pos, _as_task_result(spec, *_execute(spec)))
+    else:
+        _run_pool(pending, jobs, finish)
+
+    return CampaignResult(
+        results=tuple(slots),
+        jobs=jobs,
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+def _run_pool(
+    pending: "Sequence[tuple[int, RunSpec]]",
+    jobs: int,
+    finish: "Callable[[int, TaskResult], None]",
+) -> None:
+    """Shard pending tasks over a process pool, streaming completions.
+
+    Survives a broken pool (a worker killed by the OS mid-task): the
+    tasks that were in flight or still queued are recorded as failures
+    and the campaign result stays complete — submit errors never
+    propagate out of here.
+    """
+    max_workers = min(jobs, len(pending))
+    window = max_workers * _INFLIGHT_PER_JOB
+    queue = iter(pending)
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        in_flight: dict = {}
+        pool_broken = False
+
+        def refill() -> None:
+            nonlocal pool_broken
+            for pos, spec in queue:
+                try:
+                    in_flight[pool.submit(_execute, spec)] = (pos, spec)
+                except Exception:  # BrokenProcessPool, shutdown races
+                    pool_broken = True
+                    finish(pos, _as_task_result(
+                        spec, "error",
+                        "task not attempted: worker pool broke\n"
+                        + traceback.format_exc(), 0.0))
+                if pool_broken or len(in_flight) >= window:
+                    break
+            if pool_broken:
+                for pos, spec in queue:
+                    finish(pos, _as_task_result(
+                        spec, "error",
+                        "task not attempted: worker pool broke", 0.0))
+
+        refill()
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                pos, spec = in_flight.pop(future)
+                try:
+                    status, payload, duration = future.result()
+                except Exception:  # worker death / pickling failure
+                    status, payload, duration = (
+                        "error", traceback.format_exc(), 0.0)
+                finish(pos, _as_task_result(spec, status, payload, duration))
+            refill()

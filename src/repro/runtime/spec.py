@@ -1,0 +1,236 @@
+"""Declarative task specs: one run, or a whole parameter sweep.
+
+A :class:`RunSpec` is the unit of campaign work: a reference to a
+top-level task function (as a ``"module.path:function"`` string, so the
+spec pickles cheaply and resolves identically in any worker process),
+its keyword parameters, and the task's derived seed.  Specs are frozen,
+hashable, and canonically serializable; :func:`spec_key` turns one into
+a stable content hash that the on-disk result store uses as its address.
+
+A :class:`SweepSpec` declares a Cartesian grid of parameter values plus
+replicate runs and expands into the ordered tuple of concrete
+:class:`RunSpec` tasks, each with its own deterministic seed derived
+from ``(base_seed, task_index)`` (see :mod:`repro.runtime.seeding`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.runtime.seeding import derive_seed
+
+__all__ = ["RunSpec", "SweepSpec", "canonical", "spec_key"]
+
+
+def canonical(value: Any) -> Any:
+    """Normalize a parameter value into a canonical JSON-able form.
+
+    Scalars pass through (numpy scalars are converted to Python ones),
+    sequences become lists, mappings become key-sorted dicts.  Anything
+    else — live objects, arrays, generators — is rejected: task inputs
+    must be plain data so that the content hash is stable across
+    processes and sessions.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Mapping):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(f"mapping keys must be str, got {key!r}")
+            out[key] = canonical(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    raise TypeError(
+        f"parameter of type {type(value).__name__} is not canonicalizable; "
+        "pass plain scalars / lists / dicts (e.g. refer to objects by name)"
+    )
+
+
+def _canonical_json(value: Any) -> str:
+    """Deterministic JSON text for hashing (sorted keys, repr-exact floats)."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One campaign task: importable function + parameters + seed.
+
+    Parameters
+    ----------
+    fn:
+        Import path ``"package.module:function"`` of a *top-level*
+        function.  String form keeps the spec picklable and lets worker
+        processes resolve the callable themselves.
+    params:
+        Keyword arguments, stored as a sorted tuple of ``(name, value)``
+        pairs of canonical plain data (see :func:`canonical`).
+    seed:
+        Derived per-task integer seed, or ``None`` for seedless tasks.
+        Passed to the function as a ``seed=`` keyword when not ``None``.
+    index:
+        Position of this task within its campaign.  Metadata only: it
+        determines the seed at sweep-expansion time but does not enter
+        the content hash (the seed already does).
+    """
+
+    fn: str
+    params: tuple = ()
+    seed: "int | None" = None
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if ":" not in self.fn:
+            raise ValueError(
+                f"fn must be an import path 'module:function', got {self.fn!r}"
+            )
+        if isinstance(self.params, Mapping):
+            items = self.params.items()
+        else:
+            items = self.params
+        norm = tuple(sorted((str(k), canonical(v)) for k, v in items))
+        if self.seed is not None and any(k == "seed" for k, _ in norm):
+            raise ValueError(
+                "params may not contain 'seed' when the spec has a derived "
+                "seed — it would be silently overwritten at call time"
+            )
+        object.__setattr__(self, "params", norm)
+
+    @property
+    def kwargs(self) -> dict:
+        """Parameters as a keyword-argument dict (fresh copy)."""
+        return {k: v for k, v in self.params}
+
+    def resolve(self) -> Callable:
+        """Import and return the task function."""
+        module_name, _, func_name = self.fn.partition(":")
+        module = importlib.import_module(module_name)
+        try:
+            func = getattr(module, func_name)
+        except AttributeError as exc:
+            raise AttributeError(f"{module_name} has no attribute {func_name!r}") from exc
+        if not callable(func):
+            raise TypeError(f"{self.fn} is not callable")
+        return func
+
+    def call(self) -> Any:
+        """Execute the task in the current process."""
+        kwargs = self.kwargs
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return self.resolve()(**kwargs)
+
+    @property
+    def key(self) -> str:
+        """Stable content hash of ``(fn, params, seed)`` — the cache address."""
+        return spec_key(self)
+
+    def describe(self) -> dict:
+        """Plain-data description (what the store records next to results)."""
+        return {"fn": self.fn, "params": dict(self.params), "seed": self.seed}
+
+
+def spec_key(spec: RunSpec) -> str:
+    """SHA-256 content hash of a task spec (hex, truncated to 32 chars).
+
+    Depends only on the function path, canonicalized parameters, and the
+    derived seed — not on the task's campaign position, the backend, or
+    the process that computes it.
+    """
+    payload = _canonical_json(
+        {"fn": spec.fn, "params": dict(spec.params), "seed": spec.seed}
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A Cartesian parameter grid of replicated, seeded campaign tasks.
+
+    Parameters
+    ----------
+    fn:
+        Import path of the task function (see :class:`RunSpec.fn`).
+    base:
+        Fixed keyword parameters shared by every task.
+    axes:
+        Ordered ``(name, values)`` pairs; the grid is the Cartesian
+        product in declaration order, with the *last* axis varying
+        fastest (like nested loops).
+    base_seed:
+        Campaign seed.  Task ``i`` of the expansion receives the derived
+        seed ``derive_seed(base_seed, i)``; set ``seeded=False`` for
+        deterministic task functions that take no seed.
+    seeded:
+        Whether tasks receive a derived ``seed`` parameter.
+    """
+
+    fn: str
+    base: tuple = ()
+    axes: tuple = ()
+    base_seed: int = 0
+    seeded: bool = True
+
+    def __post_init__(self) -> None:
+        if isinstance(self.base, Mapping):
+            base_items = tuple(sorted(self.base.items()))
+        else:
+            base_items = tuple(self.base)
+        object.__setattr__(self, "base", base_items)
+        axes = []
+        for name, values in self.axes:
+            values = tuple(values)
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+            axes.append((str(name), values))
+        object.__setattr__(self, "axes", tuple(axes))
+        names = [k for k, _ in self.base] + [n for n, _ in self.axes]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValueError(f"duplicate parameter names: {sorted(dupes)}")
+        if self.seeded and "seed" in names:
+            raise ValueError(
+                "'seed' is derived per task in a seeded sweep; pass "
+                "seeded=False to control it as an ordinary parameter"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of tasks the sweep expands to."""
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def points(self) -> "list[dict]":
+        """The grid points (axis-value dicts) in expansion order."""
+        names = [n for n, _ in self.axes]
+        grids = [v for _, v in self.axes]
+        return [dict(zip(names, combo)) for combo in itertools.product(*grids)]
+
+    def tasks(self) -> "tuple[RunSpec, ...]":
+        """Expand into concrete, deterministically seeded tasks."""
+        specs = []
+        for i, point in enumerate(self.points()):
+            params = dict(self.base)
+            params.update(point)
+            seed = derive_seed(self.base_seed, i) if self.seeded else None
+            specs.append(RunSpec(fn=self.fn, params=tuple(params.items()),
+                                 seed=seed, index=i))
+        return tuple(specs)

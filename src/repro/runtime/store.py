@@ -1,0 +1,164 @@
+"""Content-addressed on-disk result store for campaign runs.
+
+Each task result lives under the cache root at a path derived from the
+task's content hash (:func:`repro.runtime.spec.spec_key`): a JSON record
+for plain data plus an optional ``.npz`` side-car for ndarray fields.
+Because the address is a pure function of the task description, a rerun
+of the same campaign — same function, parameters, and derived seed —
+finds its results already on disk and skips the simulation entirely,
+while any change to the spec transparently misses the cache.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent campaign
+processes sharing one cache directory never observe torn records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["ResultStore"]
+
+_FORMAT_VERSION = 1
+_ARRAYS_MARKER = "__arrays__"
+
+
+def _split_arrays(value: Mapping) -> "tuple[dict, dict]":
+    """Separate ndarray fields (NPZ side-car) from plain JSON fields."""
+    plain, arrays = {}, {}
+    for name, item in value.items():
+        if not isinstance(name, str):
+            raise TypeError(f"result field names must be str, got {name!r}")
+        if isinstance(item, np.ndarray):
+            arrays[name] = item
+        elif isinstance(item, np.generic):
+            plain[name] = item.item()
+        else:
+            plain[name] = item
+    return plain, arrays
+
+
+class ResultStore:
+    """A directory of task results addressed by spec content hash.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write; ``~`` is expanded).
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root).expanduser()
+
+    # -- addressing ---------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """JSON record path for a content hash (two-level fan-out)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.path_for(key).with_suffix(".npz")
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    # -- read ---------------------------------------------------------
+
+    def get(self, key: str) -> "dict | None":
+        """Load the stored result for ``key``, or ``None`` on a miss.
+
+        A record whose JSON is unreadable (torn by a crash predating the
+        atomic-write path, or hand-edited) counts as a miss: the task is
+        simply recomputed and the record rewritten.
+        """
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        value = dict(record.get("value", {}))
+        array_fields = record.get(_ARRAYS_MARKER, [])
+        if array_fields:
+            try:
+                with np.load(self._npz_path(key)) as npz:
+                    for name in array_fields:
+                        value[name] = npz[name]
+            except (OSError, KeyError):
+                return None
+        return value
+
+    # -- write --------------------------------------------------------
+
+    def put(self, key: str, value: Mapping, spec: "Mapping | None" = None) -> Path:
+        """Persist one task result (atomically); returns the JSON path.
+
+        ``value`` must be a mapping of str field names to JSON-able data
+        or :class:`numpy.ndarray`.  ``spec`` (e.g. ``RunSpec.describe()``)
+        is recorded alongside for provenance and debuggability.
+        """
+        if not isinstance(value, Mapping):
+            raise TypeError(
+                f"task results must be mappings, got {type(value).__name__}; "
+                "return a dict of named fields from the task function"
+            )
+        plain, arrays = _split_arrays(value)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if arrays:
+            self._atomic_write(
+                self._npz_path(key),
+                lambda fh: np.savez_compressed(fh, **arrays),
+                binary=True,
+            )
+        record = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "value": plain,
+            _ARRAYS_MARKER: sorted(arrays),
+        }
+        if spec is not None:
+            record["spec"] = dict(spec)
+        self._atomic_write(path, lambda fh: fh.write(json.dumps(record, indent=1)))
+        return path
+
+    def _atomic_write(self, path: Path, writer, binary: bool = False) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb" if binary else "w") as fh:
+                writer(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance --------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """All content hashes currently stored."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        n = 0
+        for key in list(self.keys()):
+            self.path_for(key).unlink(missing_ok=True)
+            self._npz_path(key).unlink(missing_ok=True)
+            n += 1
+        return n

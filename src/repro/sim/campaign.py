@@ -13,6 +13,13 @@ steady-state cost of such a delay climate and how background noise changes
 it: with many interacting waves, cancellations destroy part of each
 delay's idle budget, so the marginal cost of a delay *decreases* with the
 injection rate.
+
+Campaigns of many independent draws are orchestrated by the parallel
+campaign runtime (:mod:`repro.runtime`): declare the grid with
+:class:`repro.runtime.spec.SweepSpec`, execute with
+:func:`repro.runtime.executor.run_campaign`, and pass each task's derived
+integer seed straight to :meth:`DelayCampaign.draw` — integer seeds make
+draws bit-reproducible across worker processes.
 """
 
 from __future__ import annotations
@@ -65,9 +72,15 @@ class DelayCampaign:
         self,
         n_ranks: int,
         n_steps: int,
-        rng: np.random.Generator,
+        rng: "np.random.Generator | int",
     ) -> tuple[DelaySpec, ...]:
         """Sample a concrete delay schedule for one run.
+
+        ``rng`` is either a live :class:`numpy.random.Generator` or an
+        integer seed, in which case the campaign constructs its own
+        generator — the form campaign-runtime tasks use, since an integer
+        travels across process boundaries while producing bit-identical
+        schedules (see :mod:`repro.runtime`).
 
         At most one delay lands on any (rank, step) cell; multiple arrivals
         on one cell are merged by summing their durations (the cell's
@@ -75,6 +88,13 @@ class DelayCampaign:
         """
         if n_ranks < 1 or n_steps < 1:
             raise ValueError("n_ranks and n_steps must be >= 1")
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        elif not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                f"rng must be a numpy Generator or an integer seed, "
+                f"got {type(rng).__name__}"
+            )
         counts = rng.poisson(self.rate, size=(n_ranks, n_steps))
         specs: list[DelaySpec] = []
         for rank, step in zip(*np.nonzero(counts)):

@@ -26,6 +26,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["ext_campaign", "--jobs", "4", "--cache-dir", "/tmp/c", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+
+    def test_runtime_flag_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
 
 class TestMain:
     def test_runs_single_experiment(self, capsys):
@@ -37,3 +51,58 @@ class TestMain:
     def test_seed_propagates(self, capsys):
         assert main(["fig4", "--seed", "42"]) == 0
         assert "completed" in capsys.readouterr().out
+
+    def test_jobs_and_cache_dir_flow_into_campaign(self, capsys, tmp_path):
+        cache = tmp_path / "store"
+        assert main(["ext_campaign", "--jobs", "2", "--cache-dir",
+                     str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "16 simulated on 2 worker(s)" in out
+        assert cache.exists()
+
+        # Warm rerun: everything served from the store.
+        assert main(["ext_campaign", "--cache-dir", str(cache)]) == 0
+        assert "16 from cache, 0 simulated" in capsys.readouterr().out
+
+    def test_no_cache_bypasses_store(self, capsys, tmp_path):
+        cache = tmp_path / "store"
+        assert main(["ext_campaign", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["ext_campaign", "--cache-dir", str(cache),
+                     "--no-cache"]) == 0
+        assert "0 from cache" in capsys.readouterr().out
+
+
+class TestMainFailureHandling:
+    @pytest.fixture
+    def broken_fig4(self, monkeypatch):
+        import repro.experiments as experiments
+
+        def boom(fast=True, seed=0, **kwargs):
+            raise RuntimeError("synthetic driver failure")
+
+        monkeypatch.setitem(experiments.EXPERIMENTS, "fig4", boom)
+
+    def test_single_failure_exits_nonzero(self, broken_fig4, capsys):
+        assert main(["fig4"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "synthetic driver failure" in out
+
+    def test_all_continues_past_failure_and_reports(self, broken_fig4,
+                                                    monkeypatch, capsys):
+        import repro.experiments as experiments
+
+        # Shrink "all" to a failing and a passing experiment: exercising
+        # every driver here would just duplicate the driver tests.
+        monkeypatch.setattr(
+            experiments, "EXPERIMENTS",
+            {"fig4": experiments.EXPERIMENTS["fig4"],
+             "eq2": experiments.EXPERIMENTS["eq2"]},
+        )
+        monkeypatch.setattr("repro.cli.EXPERIMENTS", experiments.EXPERIMENTS)
+
+        assert main(["all"]) == 1
+        out = capsys.readouterr().out
+        assert "eq2" in out and "completed" in out  # kept going
+        assert "summary: 1/2 experiments succeeded" in out
+        assert "FAILED fig4" in out

@@ -1,0 +1,95 @@
+"""Tests for campaign aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    SweepSpec,
+    collect,
+    group_by_param,
+    reduce_runs,
+    run_campaign,
+    summarize,
+)
+
+VALUES = [{"x": 1.0, "y": 10.0}, {"x": 2.0, "y": 20.0}, {"x": 3.0, "y": 30.0}]
+
+
+class TestCollect:
+    def test_from_plain_values(self):
+        np.testing.assert_array_equal(collect(VALUES, "x"), [1.0, 2.0, 3.0])
+
+    def test_from_campaign(self):
+        campaign = run_campaign(
+            SweepSpec(fn="repro.runtime.tasks:rng_probe_task",
+                      base={"n": 1},
+                      axes=(("replicate", (0, 1)),)).tasks(),
+            jobs=1,
+        )
+        seeds = collect(campaign, "seed")
+        assert seeds.shape == (2,)
+
+    def test_missing_field(self):
+        with pytest.raises(KeyError, match="'z' missing"):
+            collect(VALUES, "z")
+
+
+class TestSummarizeReduce:
+    def test_summarize_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["n"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] == pytest.approx(2.5)
+        assert s["p95"] == pytest.approx(3.85)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_reduce_runs_default_fields(self):
+        reduced = reduce_runs(VALUES)
+        assert set(reduced) == {"x", "y"}
+        assert reduced["x"]["mean"] == pytest.approx(2.0)
+        assert reduced["y"]["p50"] == pytest.approx(20.0)
+
+    def test_reduce_runs_custom_percentiles(self):
+        reduced = reduce_runs(VALUES, fields=["x"], percentiles=(25.0,))
+        assert "p25" in reduced["x"] and "p95" not in reduced["x"]
+
+    def test_reduce_skips_non_numeric_fields(self):
+        values = [{"x": 1.0, "label": "a", "flag": True}]
+        assert set(reduce_runs(values)) == {"x"}
+
+
+class TestGroupByParam:
+    def campaign(self):
+        sweep = SweepSpec(
+            fn="repro.runtime.tasks:rng_probe_task",
+            base={},
+            axes=(("n", (1, 2)), ("replicate", (0, 1, 2))),
+            base_seed=0,
+        )
+        return run_campaign(sweep.tasks(), jobs=1)
+
+    def test_groups_keep_sweep_order(self):
+        grouped = group_by_param(self.campaign(), "n")
+        assert list(grouped) == [1, 2]
+        assert len(grouped[1]) == 3 and len(grouped[2]) == 3
+        assert all(len(v["draws"]) == 1 for v in grouped[1])
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(KeyError, match="no parameter 'rate'"):
+            group_by_param(self.campaign(), "rate")
+
+    def test_failed_tasks_excluded(self):
+        from repro.runtime import RunSpec
+
+        specs = [
+            RunSpec(fn="repro.runtime.tasks:failing_task",
+                    params={"message": "x", "replicate": 0}, seed=1, index=0),
+            RunSpec(fn="repro.runtime.tasks:rng_probe_task",
+                    params={"n": 1, "replicate": 1}, seed=2, index=1),
+        ]
+        grouped = group_by_param(run_campaign(specs, jobs=1), "replicate")
+        assert list(grouped) == [1]

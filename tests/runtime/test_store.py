@@ -1,0 +1,87 @@
+"""Unit tests for the content-addressed on-disk result store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import ResultStore
+
+KEY = "ab" * 16
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_plain_json_fields(self, store):
+        value = {"runtime": 0.125, "n": 3, "tags": ["a", "b"], "ok": True}
+        store.put(KEY, value)
+        assert store.get(KEY) == value
+
+    def test_float_bits_survive(self, store):
+        value = {"x": 0.1 + 0.2, "y": 1e-300}
+        store.put(KEY, value)
+        loaded = store.get(KEY)
+        assert loaded["x"].hex() == value["x"].hex()
+        assert loaded["y"].hex() == value["y"].hex()
+
+    def test_ndarray_fields_via_npz(self, store):
+        arr = np.linspace(0.0, 1.0, 7)
+        store.put(KEY, {"curve": arr, "n": 7})
+        loaded = store.get(KEY)
+        np.testing.assert_array_equal(loaded["curve"], arr)
+        assert loaded["n"] == 7
+        assert store._npz_path(KEY).exists()
+
+    def test_numpy_scalars_stored_as_python(self, store):
+        store.put(KEY, {"a": np.float64(0.5), "b": np.int64(4)})
+        assert store.get(KEY) == {"a": 0.5, "b": 4}
+
+    def test_spec_recorded_for_provenance(self, store):
+        path = store.put(KEY, {"x": 1}, spec={"fn": "m:f", "seed": 9})
+        record = json.loads(path.read_text())
+        assert record["spec"] == {"fn": "m:f", "seed": 9}
+        assert record["key"] == KEY
+
+
+class TestMissesAndErrors:
+    def test_missing_key_is_none(self, store):
+        assert store.get(KEY) is None
+        assert KEY not in store
+
+    def test_torn_record_counts_as_miss(self, store):
+        path = store.put(KEY, {"x": 1})
+        path.write_text("{ not json")
+        assert store.get(KEY) is None
+
+    def test_missing_npz_sidecar_counts_as_miss(self, store):
+        store.put(KEY, {"curve": np.ones(3)})
+        store._npz_path(KEY).unlink()
+        assert store.get(KEY) is None
+
+    def test_non_mapping_value_rejected(self, store):
+        with pytest.raises(TypeError, match="mappings"):
+            store.put(KEY, [1, 2, 3])
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError, match="malformed"):
+            store.path_for("../escape")
+
+
+class TestMaintenance:
+    def test_keys_len_clear(self, store):
+        keys = [f"{i:032x}" for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, {"i": i, "arr": np.arange(i + 1)})
+        assert sorted(store.keys()) == sorted(keys)
+        assert len(store) == 3
+        assert store.clear() == 3
+        assert len(store) == 0
+        assert store.get(keys[0]) is None
+
+    def test_empty_store_iterates_nothing(self, store):
+        assert list(store.keys()) == []
+        assert len(store) == 0
