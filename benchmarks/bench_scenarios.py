@@ -1,0 +1,90 @@
+"""Benchmark: the declarative scenario pipeline.
+
+Measures the two costs the subsystem's design hinges on:
+
+- **compile overhead** — parse + validate + compile every bundled
+  scenario.  The compiler sits in front of every run and every sweep
+  point, so it must be cheap: asserted < 5 ms per scenario (it is
+  typically well under 1 ms).
+- **lockstep-dispatch speedup** — the compiler routes lockstep-eligible
+  scenarios to the vectorized engine; running the same scenario with the
+  forced DAG engine shows what that dispatch buys.  Both engines must
+  agree to machine precision while the lockstep path runs much faster
+  on a large rank/step grid.
+"""
+
+import time
+
+import numpy as np
+
+from repro.scenarios import (
+    ScenarioSpec,
+    bundled_scenario_names,
+    compile_scenario,
+    load_bundled_scenario,
+    run_scenario,
+)
+
+COMPILE_BUDGET_S = 5e-3  # the design target: < 5 ms per scenario
+
+
+def test_bench_scenario_compile_overhead(once):
+    names = bundled_scenario_names()
+    specs = [load_bundled_scenario(name) for name in names]
+
+    def compile_all(reps: int = 20):
+        for _ in range(reps):
+            for spec in specs:
+                compile_scenario(spec)
+        return reps * len(specs)
+
+    n = once(compile_all)
+    # Re-time outside the benchmark fixture for the per-scenario figure.
+    t0 = time.perf_counter()
+    compile_all(reps=20)
+    per_scenario = (time.perf_counter() - t0) / n
+    print(f"\ncompile: {per_scenario * 1e6:.0f} µs/scenario "
+          f"({len(specs)} bundled scenarios)")
+    assert per_scenario < COMPILE_BUDGET_S
+
+
+def test_bench_scenario_load_and_compile_budget():
+    """End-to-end file → spec → compiled, per bundled scenario file."""
+    names = bundled_scenario_names()
+    t0 = time.perf_counter()
+    for name in names:
+        compile_scenario(load_bundled_scenario(name))
+    per_scenario = (time.perf_counter() - t0) / len(names)
+    print(f"\nload+compile: {per_scenario * 1e3:.2f} ms/scenario")
+    assert per_scenario < COMPILE_BUDGET_S
+
+
+def test_bench_scenario_lockstep_dispatch_speedup(once):
+    spec = ScenarioSpec.from_dict({
+        "name": "dispatch_bench",
+        "n_ranks": 100,
+        "n_steps": 400,
+        "machine": {"preset": "simulated"},
+        "comm": {"direction": "bidirectional", "periodic": True},
+        "noise": {"model": "exponential", "level": 0.05},
+        "delays": [{"rank": 50, "step": 0, "phases": 6.0}],
+        "outputs": ["runtime"],
+    })
+
+    def run_both():
+        t0 = time.perf_counter()
+        fast = run_scenario(spec, engine="lockstep")
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow = run_scenario(spec, engine="dag")
+        t_slow = time.perf_counter() - t0
+        return fast, slow, t_fast, t_slow
+
+    fast, slow, t_fast, t_slow = once(run_both)
+    print(f"\nlockstep {t_fast * 1e3:.0f}ms vs DAG {t_slow * 1e3:.0f}ms "
+          f"(dispatch speedup {t_slow / t_fast:.1f}x)")
+
+    np.testing.assert_allclose(
+        fast.timing.completion, slow.timing.completion, rtol=1e-12, atol=1e-12
+    )
+    assert t_slow / t_fast > 3.0

@@ -1,10 +1,27 @@
-"""Legacy setup shim.
+"""Setup for the repro package.
 
-All metadata lives in pyproject.toml; this file exists only so that
-``pip install -e .`` works in offline environments without the ``wheel``
-package (legacy editable installs go through ``setup.py develop``).
+Kept as a plain ``setup.py`` so that ``pip install -e .`` works in
+offline environments without the ``wheel`` package (legacy editable
+installs go through ``setup.py develop``).  The bundled scenario files
+under ``repro/scenarios/data/`` are package data — they must ship with
+the package for the scenario registry to work outside a source checkout.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Propagation and Decay of Injected One-Off Delays "
+        "on Clusters' (IEEE CLUSTER 2019) on a built-in cluster simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.scenarios": ["data/*.toml", "data/*.json"]},
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["repro-experiment = repro.cli:main"],
+    },
+)

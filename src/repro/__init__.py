@@ -16,6 +16,10 @@ The package has four layers:
    paper's workloads (STREAM triad, LBM, vdivpd).
 4. :mod:`repro.experiments` — one driver per paper figure, runnable via
    ``python -m repro`` or the ``repro-experiment`` script.
+5. :mod:`repro.scenarios` — declarative scenarios: TOML/JSON specs
+   compiled onto the simulator (``repro-experiment scenario run ...``),
+   with sweeps executing through the campaign runtime
+   (:mod:`repro.runtime`).
 
 Quickstart::
 

@@ -1,31 +1,56 @@
-"""Command-line interface: regenerate any paper figure's data.
+"""Command-line interface: paper figures and declarative scenarios.
 
 Usage::
 
     repro-experiment fig4                 # fast variant of the Fig. 4 study
     repro-experiment fig8 --full          # paper-sized run counts
     repro-experiment all --seed 3         # everything
+    repro-experiment list --json          # experiment ids + descriptions
     repro-experiment ext_campaign --jobs 4 --cache-dir ~/.cache/repro
     python -m repro fig5                  # module form
 
-Campaign-style experiments execute through the parallel campaign runtime
-(:mod:`repro.runtime`): ``--jobs N`` shards their independent runs over N
-worker processes (``--jobs 0`` auto-detects the CPU count) and
-``--cache-dir`` enables the content-addressed on-disk result store, so a
-repeated invocation skips every already-simulated run.  Results are
-bit-identical for a given ``--seed`` regardless of ``--jobs``.
+    repro-experiment scenario list                      # bundled scenarios
+    repro-experiment scenario run fig4_single_delay     # run one scenario
+    repro-experiment scenario validate my_scenario.toml # compile-check a file
+    repro-experiment scenario sweep campaign_rate_sweep --jobs 4
+
+Campaign-style experiments and scenario sweeps execute through the
+parallel campaign runtime (:mod:`repro.runtime`): ``--jobs N`` shards
+their independent runs over N worker processes (``--jobs 0`` auto-detects
+the CPU count) and ``--cache-dir`` enables the content-addressed on-disk
+result store, so a repeated invocation skips every already-simulated run.
+Results are bit-identical for a given ``--seed`` regardless of ``--jobs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import traceback
 
-from repro.experiments import EXPERIMENTS, RuntimeOptions, run_experiment
+from repro.experiments import (
+    EXPERIMENTS,
+    RuntimeOptions,
+    experiment_descriptions,
+    run_experiment,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "jobs_arg"]
+
+
+def jobs_arg(text: str) -> int:
+    """``--jobs`` parser: non-negative int (0 = auto-detect CPU count)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = auto-detect CPU count), got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,13 +59,21 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Reproduce the figures of 'Propagation and Decay of Injected "
             "One-Off Delays on Clusters' (CLUSTER 2019) on the built-in "
-            "cluster simulator."
+            "cluster simulator, or run declarative scenarios "
+            "('repro-experiment scenario --help')."
+        ),
+        epilog=(
+            "The 'scenario' command delegates to its own subcommands: "
+            "repro-experiment scenario {list,validate,run,sweep} ..."
         ),
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all"],
-        help="experiment id (paper figure) or 'all'",
+        choices=[*sorted(EXPERIMENTS), "all", "list", "scenario"],
+        help=(
+            "experiment id (paper figure), 'all', 'list', or 'scenario' "
+            "(see epilog)"
+        ),
     )
     parser.add_argument(
         "--full",
@@ -50,7 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=jobs_arg,
         default=1,
         metavar="N",
         help=(
@@ -69,11 +102,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recompute everything even if --cache-dir has results",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable output (only for 'list')",
+    )
     return parser
 
 
+def _list_experiments(as_json: bool) -> int:
+    descriptions = experiment_descriptions()
+    if as_json:
+        print(json.dumps(
+            [{"id": name, "description": desc}
+             for name, desc in sorted(descriptions.items())],
+            indent=2,
+        ))
+        return 0
+    width = max(len(name) for name in descriptions)
+    for name in sorted(descriptions):
+        print(f"{name:<{width}}  {descriptions[name]}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenario":
+        from repro.scenarios.cli import scenario_main
+
+        return scenario_main(argv[1:])
+
     args = build_parser().parse_args(argv)
+    if args.experiment == "scenario":
+        # Reachable only when 'scenario' is not the first token (e.g.
+        # 'repro-experiment --seed 3 scenario'); its subcommand arguments
+        # cannot be recovered once argparse consumed the flags.
+        print("usage: repro-experiment scenario {list,validate,run,sweep} ... "
+              "('scenario' must come first)", file=sys.stderr)
+        return 2
+    if args.experiment == "list":
+        return _list_experiments(args.as_json)
+
     run_all = args.experiment == "all"
     names = sorted(EXPERIMENTS) if run_all else [args.experiment]
     runtime = RuntimeOptions(

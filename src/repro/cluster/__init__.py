@@ -1,6 +1,22 @@
 """Cluster descriptions: the paper's testbeds as calibrated machine specs."""
 
 from repro.cluster.machine import CpuSpec, MachineSpec
-from repro.cluster.presets import EMMY, MACHINES, MEGGIE, SIMULATED, get_machine
+from repro.cluster.presets import (
+    EMMY,
+    MACHINES,
+    MEGGIE,
+    SIMULATED,
+    get_machine,
+    noise_for_smt,
+)
 
-__all__ = ["CpuSpec", "EMMY", "MACHINES", "MEGGIE", "MachineSpec", "SIMULATED", "get_machine"]
+__all__ = [
+    "CpuSpec",
+    "EMMY",
+    "MACHINES",
+    "MEGGIE",
+    "MachineSpec",
+    "SIMULATED",
+    "get_machine",
+    "noise_for_smt",
+]

@@ -27,7 +27,7 @@ from repro.sim.network import HockneyModel
 from repro.sim.noise import BimodalNoise, ExponentialNoise
 from repro.sim.topology import CommDomain, MachineTopology
 
-__all__ = ["EMMY", "MEGGIE", "SIMULATED", "get_machine", "MACHINES"]
+__all__ = ["EMMY", "MEGGIE", "SIMULATED", "get_machine", "noise_for_smt", "MACHINES"]
 
 
 def _emmy() -> MachineSpec:
@@ -156,3 +156,25 @@ def get_machine(name: str) -> MachineSpec:
         raise KeyError(
             f"unknown machine {name!r}; available: {sorted(MACHINES)}"
         ) from None
+
+
+def noise_for_smt(machine: MachineSpec, smt: "str | None" = None):
+    """The machine's calibrated natural-noise model for an SMT setting.
+
+    ``smt`` is ``"on"``, ``"off"``, or ``None`` for the machine's
+    operational configuration (SMT on for Emmy, off for Meggie — the
+    setups behind Fig. 3).  Raises :class:`KeyError` for other values and
+    :class:`ValueError` when the machine has no calibration for the
+    requested setting.
+    """
+    if smt is None:
+        return machine.natural_noise
+    key = smt.strip().lower()
+    if key not in ("on", "off"):
+        raise KeyError(f"smt must be 'on', 'off', or None, got {smt!r}")
+    model = machine.noise_smt_on if key == "on" else machine.noise_smt_off
+    if model is None:
+        raise ValueError(
+            f"machine {machine.name!r} has no SMT-{key} noise calibration"
+        )
+    return model

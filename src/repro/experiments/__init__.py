@@ -26,7 +26,13 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult, RuntimeOptions
 
-__all__ = ["EXPERIMENTS", "ExperimentResult", "RuntimeOptions", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "RuntimeOptions",
+    "experiment_descriptions",
+    "run_experiment",
+]
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig1": fig1_stream_scaling.run,
@@ -45,6 +51,18 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext_hybrid": ext_hybrid.run,
     "ext_membound": ext_membound.run,
 }
+
+
+def experiment_descriptions() -> "dict[str, str]":
+    """One-line description per experiment id (driver-module docstrings).
+
+    Feeds ``repro-experiment list``; insertion order follows the registry.
+    """
+    out: dict[str, str] = {}
+    for name, driver in EXPERIMENTS.items():
+        doc = inspect.getdoc(inspect.getmodule(driver)) or ""
+        out[name] = doc.splitlines()[0].strip() if doc else ""
+    return out
 
 
 def run_experiment(

@@ -29,7 +29,7 @@ from repro.runtime.seeding import derive_seed
 __all__ = ["RunSpec", "SweepSpec", "canonical", "spec_key"]
 
 
-def canonical(value: Any) -> Any:
+def canonical(value: Any, path: str = "") -> Any:
     """Normalize a parameter value into a canonical JSON-able form.
 
     Scalars pass through (numpy scalars are converted to Python ones),
@@ -37,6 +37,11 @@ def canonical(value: Any) -> Any:
     else — live objects, arrays, generators — is rejected: task inputs
     must be plain data so that the content hash is stable across
     processes and sessions.
+
+    ``path`` names the parameter being normalized; rejections anywhere in
+    a nested value raise a :class:`TypeError` that spells out the full
+    key/index path of the offending entry (e.g. ``config['delays'][2]``),
+    not just its type.
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
@@ -50,15 +55,23 @@ def canonical(value: Any) -> Any:
         return float(value)
     if isinstance(value, Mapping):
         out = {}
-        for key in sorted(value):
+        for key in sorted(value, key=str):
             if not isinstance(key, str):
-                raise TypeError(f"mapping keys must be str, got {key!r}")
-            out[key] = canonical(value[key])
+                where = f" at {path}" if path else ""
+                raise TypeError(
+                    f"mapping keys must be str, got {key!r} "
+                    f"({type(key).__name__}){where}"
+                )
+            out[key] = canonical(value[key], f"{path}[{key!r}]" if path else repr(key))
         return out
     if isinstance(value, (list, tuple)):
-        return [canonical(v) for v in value]
+        return [
+            canonical(v, f"{path}[{i}]" if path else f"[{i}]")
+            for i, v in enumerate(value)
+        ]
+    where = f"parameter {path}" if path else "parameter"
     raise TypeError(
-        f"parameter of type {type(value).__name__} is not canonicalizable; "
+        f"{where} of type {type(value).__name__} is not canonicalizable; "
         "pass plain scalars / lists / dicts (e.g. refer to objects by name)"
     )
 
@@ -104,7 +117,7 @@ class RunSpec:
             items = self.params.items()
         else:
             items = self.params
-        norm = tuple(sorted((str(k), canonical(v)) for k, v in items))
+        norm = tuple(sorted((str(k), canonical(v, path=str(k))) for k, v in items))
         if self.seed is not None and any(k == "seed" for k, _ in norm):
             raise ValueError(
                 "params may not contain 'seed' when the spec has a derived "

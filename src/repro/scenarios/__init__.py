@@ -1,0 +1,94 @@
+"""Declarative scenarios: spec → compile → dispatch.
+
+This package turns arbitrary delay/noise experiments into *data*: a
+scenario file (TOML/JSON) names a machine, a workload, a communication
+pattern, noise and delay-injection models, and the outputs to report —
+and the pipeline does the rest:
+
+- :mod:`repro.scenarios.spec` — frozen plain-data spec with strict,
+  path-precise validation (:class:`ScenarioSpec` and its sections).
+- :mod:`repro.scenarios.loader` — TOML/JSON file loading.
+- :mod:`repro.scenarios.compiler` — resolution against the machine
+  presets, workload models, and noise/campaign generators, plus engine
+  dispatch: the vectorized lockstep engine whenever the scenario fits its
+  uniform-network contract, the DAG engine otherwise.
+- :mod:`repro.scenarios.runner` — deterministic execution and output
+  evaluation (:func:`run_scenario`).
+- :mod:`repro.scenarios.sweep` — ``sweep:`` block expansion into
+  :class:`repro.runtime.SweepSpec` grids: sharded, cached, bit-identical
+  across worker counts.
+- :mod:`repro.scenarios.registry` — the bundled scenario files under
+  ``scenarios/data/``.
+
+Typical use::
+
+    from repro.scenarios import load_bundled_scenario, run_scenario
+
+    spec = load_bundled_scenario("fig4_single_delay")
+    run = run_scenario(spec)
+    print(run.render())
+"""
+
+from repro.scenarios.compiler import (
+    CompiledScenario,
+    compile_scenario,
+    lockstep_eligible,
+)
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.loader import load_scenario_file, parse_scenario_text
+from repro.scenarios.registry import (
+    BUNDLED_SCENARIO_DIR,
+    bundled_scenario_names,
+    iter_bundled_scenarios,
+    load_bundled_scenario,
+    resolve_scenario,
+)
+from repro.scenarios.runner import ScenarioRun, run_scenario
+from repro.scenarios.spec import (
+    CampaignSection,
+    CommSection,
+    DelayEntry,
+    MachineSection,
+    NoiseSection,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSection,
+    WorkloadSection,
+    apply_overrides,
+)
+from repro.scenarios.sweep import (
+    ScenarioSweepResult,
+    SweepPointSummary,
+    run_scenario_sweep,
+    scenario_sweep_spec,
+)
+
+__all__ = [
+    "BUNDLED_SCENARIO_DIR",
+    "CampaignSection",
+    "CommSection",
+    "CompiledScenario",
+    "DelayEntry",
+    "MachineSection",
+    "NoiseSection",
+    "ScenarioError",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "ScenarioSweepResult",
+    "SweepAxis",
+    "SweepPointSummary",
+    "SweepSection",
+    "WorkloadSection",
+    "apply_overrides",
+    "bundled_scenario_names",
+    "compile_scenario",
+    "iter_bundled_scenarios",
+    "load_bundled_scenario",
+    "load_scenario_file",
+    "lockstep_eligible",
+    "parse_scenario_text",
+    "resolve_scenario",
+    "run_scenario",
+    "run_scenario_sweep",
+    "scenario_sweep_spec",
+]

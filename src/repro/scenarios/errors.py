@@ -1,0 +1,45 @@
+"""Scenario validation errors.
+
+Every rejection in the scenario layer raises :class:`ScenarioError` and
+names the exact spec field (dotted path, e.g. ``delays.campaign.rate``)
+that caused it, so a user editing a TOML file is pointed at the offending
+line rather than at a Python traceback deep inside the compiler.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ScenarioError"]
+
+
+class ScenarioError(ValueError):
+    """A scenario spec failed validation or compilation.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what is wrong and what would fix it.
+    path:
+        Dotted path of the offending field within the scenario document
+        (e.g. ``"noise.mean_delay"``), or ``""`` for document-level
+        problems.
+    scenario:
+        Name of the scenario, when known — distinguishes failures when
+        validating a batch of files.
+    """
+
+    def __init__(self, message: str, path: str = "", scenario: str = "") -> None:
+        self.message = message
+        self.path = path
+        self.scenario = scenario
+        prefix = ""
+        if scenario:
+            prefix += f"scenario {scenario!r}: "
+        if path:
+            prefix += f"field '{path}': "
+        super().__init__(prefix + message)
+
+    def with_scenario(self, name: str) -> "ScenarioError":
+        """A copy of this error tagged with the scenario name."""
+        if self.scenario:
+            return self
+        return ScenarioError(self.message, path=self.path, scenario=name)

@@ -1,0 +1,65 @@
+"""Loading scenario documents from TOML / JSON files.
+
+TOML is the native authoring format (tables map 1:1 onto spec sections);
+JSON is accepted for machine-generated scenarios.  The file stem supplies
+the scenario name when the document has none, so a directory of scenario
+files needs no redundant ``name =`` lines.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Any
+
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["load_scenario_file", "parse_scenario_text"]
+
+
+def parse_scenario_text(text: str, fmt: str = "toml",
+                        name: "str | None" = None) -> ScenarioSpec:
+    """Parse a scenario document from text (``fmt`` = ``toml`` | ``json``)."""
+    if fmt == "toml":
+        try:
+            data: Any = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML: {exc}", scenario=name or "") from exc
+    elif fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON: {exc}", scenario=name or "") from exc
+    else:
+        raise ScenarioError(f"unknown scenario format {fmt!r}; use 'toml' or 'json'")
+    return ScenarioSpec.from_dict(data, name=name)
+
+
+def load_scenario_file(path: "str | Path") -> ScenarioSpec:
+    """Load one scenario file (``.toml`` or ``.json``).
+
+    Raises
+    ------
+    ScenarioError
+        On unreadable files, malformed markup, or spec validation
+        failures — always naming the file and (where known) the offending
+        field path.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise ScenarioError(
+            f"unsupported scenario file type {path.suffix!r} ({path}); "
+            "use .toml or .json"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}") from exc
+    try:
+        return parse_scenario_text(text, fmt=suffix[1:], name=path.stem)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{exc.message} (file: {path})", path=exc.path,
+                            scenario=exc.scenario or path.stem) from exc

@@ -1,0 +1,64 @@
+"""The bundled scenario registry.
+
+Scenario files shipped with the package live in ``scenarios/data/``; the
+registry lists them, loads them by name, and resolves a CLI argument that
+may be either a bundled name or a path to a user's own file.  Growing the
+scenario space is a data change: drop a ``.toml`` file into the data
+directory (or point the CLI at one anywhere on disk) — no code edits.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.loader import load_scenario_file
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "BUNDLED_SCENARIO_DIR",
+    "bundled_scenario_names",
+    "load_bundled_scenario",
+    "iter_bundled_scenarios",
+    "resolve_scenario",
+]
+
+BUNDLED_SCENARIO_DIR = Path(__file__).parent / "data"
+
+
+def bundled_scenario_names() -> "list[str]":
+    """Sorted, deduplicated names of all bundled scenarios (file stems).
+
+    A ``.toml`` and a ``.json`` sharing a stem count as one scenario
+    (the TOML wins at load time, matching :func:`load_bundled_scenario`).
+    """
+    return sorted({
+        p.stem
+        for pattern in ("*.toml", "*.json")
+        for p in BUNDLED_SCENARIO_DIR.glob(pattern)
+    })
+
+
+def load_bundled_scenario(name: str) -> ScenarioSpec:
+    """Load one bundled scenario by name."""
+    for suffix in (".toml", ".json"):
+        path = BUNDLED_SCENARIO_DIR / f"{name}{suffix}"
+        if path.exists():
+            return load_scenario_file(path)
+    raise ScenarioError(
+        f"unknown bundled scenario {name!r}; "
+        f"available: {bundled_scenario_names()}"
+    )
+
+
+def iter_bundled_scenarios() -> "list[ScenarioSpec]":
+    """Load every bundled scenario (validated on load)."""
+    return [load_bundled_scenario(name) for name in bundled_scenario_names()]
+
+
+def resolve_scenario(name_or_path: str) -> ScenarioSpec:
+    """Resolve a CLI argument: bundled name, or path to a scenario file."""
+    candidate = Path(name_or_path)
+    if candidate.suffix.lower() in (".toml", ".json") or candidate.exists():
+        return load_scenario_file(candidate)
+    return load_bundled_scenario(name_or_path)

@@ -1,0 +1,136 @@
+"""Scenario execution: compiled spec → engine run → outputs.
+
+One entry point, :func:`run_scenario`, owns the full deterministic
+pipeline:
+
+1. draw the delay campaign's schedule (if any) and the noise matrix from
+   a single :class:`numpy.random.Generator` seeded by the run seed, so a
+   scenario + seed is bit-reproducible across processes;
+2. execute on the engine the compiler chose (or an explicit override) —
+   both engines consume the *same* execution-time matrix, which is what
+   makes cross-engine results bit-identical on the lockstep contract;
+3. evaluate the requested outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.timing import RunTiming
+from repro.scenarios.compiler import CompiledScenario, compile_scenario
+from repro.scenarios.outputs import compute_outputs
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.engine import SimConfig, simulate
+from repro.sim.hybrid import HybridConfig, hybrid_exec_times
+from repro.sim.lockstep import simulate_lockstep
+from repro.sim.program import build_lockstep_program
+
+__all__ = ["ScenarioRun", "run_scenario"]
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one scenario execution produced."""
+
+    compiled: CompiledScenario
+    seed: int
+    timing: RunTiming
+    n_campaign_delays: int
+    data: dict
+    tables: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.compiled.spec.name
+
+    def render(self) -> str:
+        """Printable report (same shape as the experiment drivers')."""
+        spec = self.compiled.spec
+        header = f"=== scenario {self.name}"
+        if spec.description:
+            header += f": {spec.description}"
+        header += " ==="
+        parts = [header,
+                 f"[engine={self.compiled.engine} seed={self.seed} "
+                 f"ranks={spec.n_ranks} steps={spec.n_steps} "
+                 f"protocol={self.compiled.resolved_protocol.value}"
+                 + (f" campaign_delays={self.n_campaign_delays}"
+                    if self.compiled.campaign is not None else "")
+                 + "]"]
+        for kind, text in self.tables.items():
+            parts.append(f"\n--- {kind} ---")
+            parts.append(text)
+        return "\n".join(parts)
+
+
+def run_scenario(
+    scenario: "ScenarioSpec | CompiledScenario",
+    seed: "int | None" = None,
+    engine: str = "auto",
+) -> ScenarioRun:
+    """Execute one scenario and evaluate its outputs.
+
+    Parameters
+    ----------
+    scenario:
+        A spec (compiled here) or an already compiled scenario.  A
+        ``sweep`` block is ignored — this runs the base point; use
+        :mod:`repro.scenarios.sweep` for grids.
+    seed:
+        Run seed; defaults to the spec's own ``seed``.  All randomness
+        (campaign schedule, noise) derives from it.
+    engine:
+        Engine override, forwarded to the compiler when ``scenario`` is a
+        spec.  Ignored for pre-compiled scenarios.
+    """
+    if isinstance(scenario, CompiledScenario):
+        compiled = scenario
+    else:
+        compiled = compile_scenario(scenario, engine=engine)
+    spec = compiled.spec
+    run_seed = spec.seed if seed is None else int(seed)
+    rng = np.random.default_rng(run_seed)
+
+    cfg = compiled.cfg
+    campaign_delays: tuple = ()
+    if compiled.campaign is not None:
+        campaign_delays = compiled.campaign.draw(cfg.n_ranks, cfg.n_steps, rng)
+        cfg = replace(cfg, delays=cfg.delays + campaign_delays)
+    if run_seed != cfg.seed:
+        cfg = replace(cfg, seed=run_seed)
+
+    if compiled.threads > 1:
+        hybrid = HybridConfig(
+            n_processes=cfg.n_ranks, threads=compiled.threads,
+            n_steps=cfg.n_steps, t_exec=cfg.t_exec, msg_size=cfg.msg_size,
+            pattern=cfg.pattern, noise=compiled.noise, delays=cfg.delays,
+            seed=run_seed,
+        )
+        exec_times = hybrid_exec_times(hybrid, rng)
+    else:
+        from repro.sim.program import build_exec_times
+
+        exec_times = build_exec_times(cfg, rng)
+
+    if compiled.engine == "lockstep":
+        result = simulate_lockstep(
+            cfg, exec_times=exec_times, network=compiled.network,
+            domain=compiled.domain, protocol=compiled.protocol,
+            eager_limit=compiled.eager_limit,
+        )
+        timing = RunTiming.from_lockstep(result)
+    else:
+        program = build_lockstep_program(cfg, exec_times)
+        trace = simulate(program, SimConfig(
+            network=compiled.network, mapping=compiled.mapping,
+            eager_limit=compiled.eager_limit, protocol=compiled.protocol,
+        ))
+        timing = RunTiming.from_trace(trace)
+
+    data, tables = compute_outputs(compiled, timing)
+    return ScenarioRun(
+        compiled=compiled, seed=run_seed, timing=timing,
+        n_campaign_delays=len(campaign_delays), data=data, tables=tables,
+    )

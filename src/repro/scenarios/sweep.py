@@ -1,0 +1,165 @@
+"""Sweep expansion: a scenario's ``sweep`` block → campaign runtime grid.
+
+A scenario with a ``sweep`` section declares axes of dotted spec paths.
+:func:`scenario_sweep_spec` expands those into a
+:class:`~repro.runtime.spec.SweepSpec` over :func:`repro.scenarios.tasks.
+scenario_task`, so scenario grids inherit everything the PR-1 runtime
+provides: deterministic per-task seeds, process-pool sharding, the
+content-addressed result store, and bit-identical serial/parallel
+results.  :func:`run_scenario_sweep` executes the grid and aggregates
+per-point summaries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime import CampaignResult, SweepSpec, run_campaign
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec, apply_overrides
+from repro.viz.tables import format_table
+
+__all__ = ["SweepPointSummary", "ScenarioSweepResult", "scenario_sweep_spec",
+           "run_scenario_sweep"]
+
+
+def _grid_points(spec: ScenarioSpec) -> "list[dict]":
+    """Cartesian product of the sweep axes as override dicts (last-fastest)."""
+    sweep = spec.sweep
+    if sweep is None or not sweep.axes:
+        return [{}]
+    names = [axis.path for axis in sweep.axes]
+    grids = [axis.values for axis in sweep.axes]
+    return [dict(zip(names, combo)) for combo in itertools.product(*grids)]
+
+
+def scenario_sweep_spec(
+    spec: ScenarioSpec,
+    base_seed: "int | None" = None,
+    engine: str = "auto",
+) -> SweepSpec:
+    """Expand a scenario into a campaign-runtime sweep declaration.
+
+    Every grid point is validated up front (overrides applied, document
+    re-parsed, base point compiled), so a sweep whose axis values break
+    the spec fails here with the offending path — not inside a worker
+    process halfway through the campaign.
+
+    Scenarios *without* a ``sweep`` block expand to a single-task grid,
+    which keeps caching and sharding uniform for the CLI.
+    """
+    document = spec.without_sweep().to_dict()
+    points = _grid_points(spec)
+    for point in points:
+        candidate = apply_overrides(document, point) if point else document
+        try:
+            compile_scenario(ScenarioSpec.from_dict(candidate), engine=engine)
+        except ScenarioError as exc:
+            raise ScenarioError(
+                f"sweep point {point!r} does not compile: {exc.message}",
+                path=exc.path, scenario=spec.name,
+            ) from exc
+    replicates = spec.sweep.replicates if spec.sweep is not None else 1
+    return SweepSpec(
+        fn="repro.scenarios.tasks:scenario_task",
+        base={"scenario": document, "engine": engine},
+        axes=(
+            ("overrides", tuple(points)),
+            ("replicate", tuple(range(replicates))),
+        ),
+        base_seed=spec.seed if base_seed is None else base_seed,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPointSummary:
+    """Aggregated outputs of one grid point across its replicates."""
+
+    overrides: dict
+    n_runs: int
+    outputs: dict  # output kind -> {field: mean across replicates}
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """A finished scenario sweep: the campaign plus per-point summaries."""
+
+    spec: ScenarioSpec
+    campaign: CampaignResult
+    points: "tuple[SweepPointSummary, ...]"
+
+    def render(self) -> str:
+        """Printable per-point summary table."""
+        axis_names = sorted({k for p in self.points for k in p.overrides})
+        numeric: "list[str]" = []
+        for point in self.points:
+            for kind, fields in point.outputs.items():
+                for name, value in fields.items():
+                    col = f"{kind}.{name}"
+                    if isinstance(value, (int, float)) and col not in numeric:
+                        numeric.append(col)
+        rows = []
+        for point in self.points:
+            row: list = [point.overrides.get(a, "") for a in axis_names]
+            row.append(point.n_runs)
+            for col in numeric:
+                kind, name = col.split(".", 1)
+                value = point.outputs.get(kind, {}).get(name, "")
+                row.append(f"{value:.6g}" if isinstance(value, float) else value)
+            rows.append(tuple(row))
+        header = [*axis_names, "runs", *numeric]
+        title = f"=== scenario sweep {self.spec.name}: {len(self.campaign)} runs, " \
+                f"{self.campaign.n_cached} cached, " \
+                f"{self.campaign.n_executed} executed on {self.campaign.jobs} worker(s) ==="
+        return title + "\n" + format_table(header, rows)
+
+
+def _mean_outputs(values: "list[dict]") -> dict:
+    """Per-output-kind mean of every numeric field across replicate runs."""
+    out: dict = {}
+    kinds = {k for v in values for k in v["outputs"]}
+    for kind in sorted(kinds):
+        fields: dict = {}
+        dicts = [v["outputs"][kind] for v in values if kind in v["outputs"]]
+        for name in dicts[0]:
+            samples = [d[name] for d in dicts
+                       if isinstance(d.get(name), (int, float))
+                       and not isinstance(d.get(name), bool)]
+            if samples and len(samples) == len(dicts):
+                fields[name] = float(np.mean(samples))
+        out[kind] = fields
+    return out
+
+
+def run_scenario_sweep(
+    spec: ScenarioSpec,
+    base_seed: "int | None" = None,
+    engine: str = "auto",
+    jobs: int = 1,
+    store=None,
+) -> ScenarioSweepResult:
+    """Run a scenario's grid through the campaign runtime and aggregate.
+
+    ``jobs``/``store`` are forwarded to
+    :func:`repro.runtime.executor.run_campaign`; task failures raise.
+    """
+    sweep = scenario_sweep_spec(spec, base_seed=base_seed, engine=engine)
+    campaign = run_campaign(sweep.tasks(), jobs=jobs, store=store)
+    campaign.raise_failures()
+
+    grouped: "dict[str, tuple[dict, list]]" = {}
+    for result in campaign:
+        overrides = result.spec.kwargs.get("overrides") or {}
+        key = json.dumps(overrides, sort_keys=True)
+        grouped.setdefault(key, (overrides, []))[1].append(result.value)
+    points = tuple(
+        SweepPointSummary(overrides=dict(overrides), n_runs=len(values),
+                          outputs=_mean_outputs(values))
+        for overrides, values in grouped.values()
+    )
+    return ScenarioSweepResult(spec=spec, campaign=campaign, points=points)

@@ -1,0 +1,58 @@
+"""Campaign task functions for scenario execution.
+
+Scenario sweeps execute through the parallel campaign runtime
+(:mod:`repro.runtime`), whose tasks must be importable top-level functions
+taking plain-data keyword arguments.  :func:`scenario_task` is that
+bridge: the scenario travels as its ``to_dict`` document, per-point
+overrides as a ``{dotted.path: value}`` dict, and the derived per-task
+seed drives all randomness — so sweep results are bit-identical for any
+worker count and cacheable by content hash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.scenarios.spec import ScenarioSpec, apply_overrides
+
+__all__ = ["scenario_task"]
+
+
+def scenario_task(
+    scenario: Mapping,
+    overrides: "Mapping[str, Any] | None" = None,
+    replicate: int = 0,
+    engine: str = "auto",
+    seed: int = 0,
+) -> dict:
+    """Run one scenario grid point; returns the outputs' data dict.
+
+    Parameters
+    ----------
+    scenario:
+        Scenario document (``ScenarioSpec.to_dict`` form), *without* its
+        sweep block.
+    overrides:
+        Sweep-axis values for this grid point, as dotted spec paths.
+    replicate:
+        Replicate index; only distinguishes otherwise-identical grid
+        points (the derived ``seed`` varies with it).
+    engine:
+        Engine selection, as in :func:`repro.scenarios.runner.run_scenario`.
+    seed:
+        Derived per-task seed (from the sweep's base seed).
+    """
+    from repro.scenarios.runner import run_scenario
+
+    data = dict(scenario)
+    data.pop("sweep", None)
+    if overrides:
+        data = apply_overrides(data, overrides)
+    spec = ScenarioSpec.from_dict(data)
+    run = run_scenario(spec, seed=seed, engine=engine)
+    return {
+        "outputs": run.data,
+        "engine": run.compiled.engine,
+        "n_campaign_delays": run.n_campaign_delays,
+        "replicate": int(replicate),
+    }

@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.cluster import EMMY, MEGGIE, SIMULATED, get_machine
-from repro.sim.noise import NoNoise
+from repro.cluster import EMMY, MEGGIE, SIMULATED, get_machine, noise_for_smt
+from repro.sim.noise import BimodalNoise, NoNoise
 from repro.sim.topology import CommDomain
+
+HIERARCHY = (CommDomain.INTRA_SOCKET, CommDomain.INTER_SOCKET,
+             CommDomain.INTER_NODE)
 
 
 class TestEmmy:
@@ -57,6 +60,55 @@ class TestSimulated:
         assert len(set(times)) == 1
 
 
+class TestInvariants:
+    """EMMY/MEGGIE calibration invariants the scenario compiler relies on."""
+
+    @pytest.mark.parametrize("machine", [EMMY, MEGGIE], ids=["emmy", "meggie"])
+    def test_domain_latency_ordering(self, machine):
+        # Latency grows strictly up the hierarchy: socket < node < network.
+        latencies = [machine.network.latency[d] for d in HIERARCHY]
+        assert latencies == sorted(latencies)
+        assert latencies[0] < latencies[-1]
+
+    @pytest.mark.parametrize("machine", [EMMY, MEGGIE], ids=["emmy", "meggie"])
+    def test_hockney_parameters_positive(self, machine):
+        for domain in HIERARCHY:
+            assert machine.network.latency[domain] > 0
+            assert machine.network.bandwidth[domain] > 0
+        assert machine.network.overhead > 0
+
+    def test_emmy_noise_calibration_fig3a(self):
+        # Fig. 3(a): unimodal, mean ~2.4 µs per 3 ms phase, SMT damped.
+        assert EMMY.noise_smt_on.mean() == pytest.approx(2.4e-6)
+        assert EMMY.noise_smt_on.mean() < EMMY.noise_smt_off.mean()
+        assert EMMY.meta["figure3_mean_us"] == pytest.approx(2.4)
+
+    def test_meggie_noise_calibration_fig3b(self):
+        # Fig. 3(b): bimodal with the Omni-Path driver mode near 660 µs.
+        assert isinstance(MEGGIE.noise_smt_off, BimodalNoise)
+        assert MEGGIE.noise_smt_off.spike_delay == pytest.approx(660e-6)
+        assert MEGGIE.meta["figure3_second_peak_us"] == pytest.approx(660)
+        assert MEGGIE.noise_smt_on.mean() == pytest.approx(2.8e-6)
+
+    @pytest.mark.parametrize("machine", [EMMY, MEGGIE], ids=["emmy", "meggie"])
+    def test_memory_bandwidth_hierarchy(self, machine):
+        assert 0 < machine.b_core < machine.b_socket
+
+
+class TestNoiseForSmt:
+    def test_default_is_operational_configuration(self):
+        assert noise_for_smt(EMMY) is EMMY.noise_smt_on
+        assert noise_for_smt(MEGGIE) is MEGGIE.noise_smt_off
+
+    def test_explicit_selection(self):
+        assert noise_for_smt(EMMY, "off") is EMMY.noise_smt_off
+        assert noise_for_smt(MEGGIE, "ON") is MEGGIE.noise_smt_on
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(KeyError, match="smt must be"):
+            noise_for_smt(EMMY, "maybe")
+
+
 class TestRegistry:
     def test_lookup_case_insensitive(self):
         assert get_machine("Emmy") is EMMY
@@ -64,4 +116,8 @@ class TestRegistry:
 
     def test_unknown_machine(self):
         with pytest.raises(KeyError, match="unknown machine"):
+            get_machine("frontier")
+
+    def test_unknown_machine_error_lists_available(self):
+        with pytest.raises(KeyError, match="emmy.*meggie.*simulated"):
             get_machine("frontier")

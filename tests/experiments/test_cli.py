@@ -40,6 +40,35 @@ class TestParser:
         assert args.cache_dir is None
         assert not args.no_cache
 
+    def test_negative_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ext_campaign", "--jobs", "-1"])
+        assert "--jobs must be >= 0" in capsys.readouterr().err
+
+    def test_jobs_zero_means_auto(self):
+        assert build_parser().parse_args(["ext_campaign", "--jobs", "0"]).jobs == 0
+
+
+class TestListCommand:
+    def test_lists_every_experiment_with_description(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "Eq. 2" in out  # a description made it through
+
+    def test_json_output(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["id"] for r in rows} == set(EXPERIMENTS)
+        assert all(r["description"] for r in rows)
+
 
 class TestMain:
     def test_runs_single_experiment(self, capsys):

@@ -32,6 +32,30 @@ class TestCanonical:
             canonical(object())
 
 
+class TestCanonicalErrorPaths:
+    """Rejections must name the offending key/index path, not just the type."""
+
+    def test_nested_mapping_value_names_path(self):
+        with pytest.raises(TypeError, match=r"'cfg'\['delays'\]"):
+            canonical({"cfg": {"delays": object()}})
+
+    def test_nested_list_element_names_index(self):
+        with pytest.raises(TypeError, match=r"params\['xs'\]\[1\]"):
+            canonical({"xs": [1, np.arange(2)]}, path="params")
+
+    def test_top_level_path_argument_used(self):
+        with pytest.raises(TypeError, match="parameter rate"):
+            canonical(object(), path="rate")
+
+    def test_non_str_key_names_parent_path(self):
+        with pytest.raises(TypeError, match=r"keys must be str.*'grid'"):
+            canonical({"grid": {3: "x"}})
+
+    def test_runspec_param_rejection_names_parameter(self):
+        with pytest.raises(TypeError, match=r"table\['rows'\]\[0\]"):
+            RunSpec(fn="m:f", params={"table": {"rows": [object()]}})
+
+
 class TestRunSpec:
     def spec(self, **kw):
         defaults = dict(fn="repro.runtime.tasks:rng_probe_task",

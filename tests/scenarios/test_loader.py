@@ -1,0 +1,75 @@
+"""TOML/JSON scenario file loading."""
+
+import json
+
+import pytest
+
+from repro.scenarios import ScenarioError, load_scenario_file, parse_scenario_text
+
+TOML = """
+n_ranks = 6
+n_steps = 4
+outputs = ["runtime"]
+
+[machine]
+preset = "simulated"
+
+[[delays]]
+rank = 2
+phases = 3.0
+"""
+
+
+class TestToml:
+    def test_load_file_uses_stem_as_name(self, tmp_path):
+        path = tmp_path / "my_scenario.toml"
+        path.write_text(TOML)
+        spec = load_scenario_file(path)
+        assert spec.name == "my_scenario"
+        assert spec.delays[0].rank == 2
+
+    def test_explicit_name_survives(self):
+        spec = parse_scenario_text('name = "x"\nn_ranks = 4\nn_steps = 2\n')
+        assert spec.name == "x"
+
+    def test_invalid_toml_names_file(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("n_ranks = = 4\n")
+        with pytest.raises(ScenarioError, match="broken.toml"):
+            load_scenario_file(path)
+
+    def test_validation_error_names_file_and_path(self, tmp_path):
+        path = tmp_path / "bad_field.toml"
+        path.write_text("n_ranks = 1\nn_steps = 4\n")
+        with pytest.raises(ScenarioError, match="n_ranks") as err:
+            load_scenario_file(path)
+        assert "bad_field.toml" in str(err.value)
+
+
+class TestJson:
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"n_ranks": 4, "n_steps": 2}))
+        assert load_scenario_file(path).name == "s"
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_scenario_file(path)
+
+
+class TestEdgeCases:
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text("n_ranks: 4")
+        with pytest.raises(ScenarioError, match="unsupported"):
+            load_scenario_file(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario_file(tmp_path / "nope.toml")
+
+    def test_unknown_format(self):
+        with pytest.raises(ScenarioError, match="unknown scenario format"):
+            parse_scenario_text("{}", fmt="yaml")
