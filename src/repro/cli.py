@@ -14,6 +14,9 @@ Usage::
     repro-experiment scenario validate my_scenario.toml # compile-check a file
     repro-experiment scenario sweep campaign_rate_sweep --jobs 4
 
+    repro-experiment golden --check       # verify the golden-trace corpus
+    repro-experiment golden --regen       # regenerate tests/golden/
+
 Campaign-style experiments and scenario sweeps execute through the
 parallel campaign runtime (:mod:`repro.runtime`): ``--jobs N`` shards
 their independent runs over N worker processes (``--jobs 0`` auto-detects
@@ -69,10 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all", "list", "scenario"],
+        choices=[*sorted(EXPERIMENTS), "all", "list", "scenario", "golden"],
         help=(
-            "experiment id (paper figure), 'all', 'list', or 'scenario' "
-            "(see epilog)"
+            "experiment id (paper figure), 'all', 'list', 'scenario' "
+            "(see epilog), or 'golden' (golden-trace corpus)"
         ),
     )
     parser.add_argument(
@@ -132,14 +135,18 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.scenarios.cli import scenario_main
 
         return scenario_main(argv[1:])
+    if argv and argv[0] == "golden":
+        from repro.golden import golden_main
+
+        return golden_main(argv[1:])
 
     args = build_parser().parse_args(argv)
-    if args.experiment == "scenario":
-        # Reachable only when 'scenario' is not the first token (e.g.
-        # 'repro-experiment --seed 3 scenario'); its subcommand arguments
-        # cannot be recovered once argparse consumed the flags.
-        print("usage: repro-experiment scenario {list,validate,run,sweep} ... "
-              "('scenario' must come first)", file=sys.stderr)
+    if args.experiment in ("scenario", "golden"):
+        # Reachable only when the subcommand is not the first token (e.g.
+        # 'repro-experiment --seed 3 scenario'); its own arguments cannot
+        # be recovered once argparse consumed the flags.
+        print(f"usage: repro-experiment {args.experiment} ... "
+              f"('{args.experiment}' must come first)", file=sys.stderr)
         return 2
     if args.experiment == "list":
         return _list_experiments(args.as_json)

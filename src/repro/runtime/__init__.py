@@ -49,6 +49,7 @@ from repro.runtime.aggregate import (
 )
 from repro.runtime.executor import (
     CampaignResult,
+    TaskBatcher,
     TaskError,
     TaskResult,
     resolve_jobs,
@@ -63,6 +64,7 @@ __all__ = [
     "ResultStore",
     "RunSpec",
     "SweepSpec",
+    "TaskBatcher",
     "TaskError",
     "TaskResult",
     "canonical",

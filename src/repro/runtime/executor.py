@@ -1,4 +1,4 @@
-"""Campaign execution: serial and process-pool backends.
+"""Campaign execution: serial and process-pool backends, with task batching.
 
 :func:`run_campaign` takes an ordered collection of
 :class:`~repro.runtime.spec.RunSpec` tasks and executes the cache misses
@@ -11,6 +11,15 @@ on one of two backends:
   streams results back *as they complete* (an ``on_result`` callback
   fires in completion order), while the returned campaign keeps task
   order.
+
+An optional **batcher** lets a task family execute contiguous blocks of
+compatible cache-missing tasks in one call (e.g. B delay-campaign draws
+as a single batched engine invocation) instead of one call per task.
+Batching is an execution detail: per-task results, cache keys, stored
+values, and streaming callbacks are exactly those of unbatched execution
+— a batcher that cannot honor that contract must not group the tasks.
+The block becomes the unit of sharding; a failing block transparently
+falls back to per-task execution, preserving failure isolation.
 
 Because per-task seeds are baked into the specs before execution (see
 :mod:`repro.runtime.seeding`), both backends produce bit-identical
@@ -33,6 +42,7 @@ from __future__ import annotations
 import os
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -42,6 +52,7 @@ from repro.runtime.store import ResultStore
 
 __all__ = [
     "CampaignResult",
+    "TaskBatcher",
     "TaskError",
     "TaskResult",
     "resolve_jobs",
@@ -63,7 +74,10 @@ class TaskResult:
 
     Exactly one of ``value`` (success) and ``error`` (failure) is set;
     ``cached`` marks results served from the store without execution.
-    ``duration`` is the task's own wall-clock seconds (0 for cache hits).
+    ``duration`` is the task's own wall-clock seconds (0 for cache hits);
+    tasks executed inside a batched block report the block's wall clock
+    divided evenly across its tasks, since the engine computes them as
+    one inseparable call.
     """
 
     spec: RunSpec
@@ -133,6 +147,33 @@ def resolve_jobs(jobs: "int | None") -> int:
     return jobs
 
 
+class TaskBatcher:
+    """Strategy interface: execute blocks of compatible tasks in one call.
+
+    Implementations must be picklable (blocks are sharded to worker
+    processes whole) and must honor the batching contract: the values
+    returned by :meth:`execute` for a block are exactly — bit for bit —
+    the values the tasks would produce when called one by one.
+
+    See :class:`repro.scenarios.batch.ScenarioTaskBatcher` for the
+    canonical implementation (batched lockstep-engine execution of
+    scenario replicate blocks).
+    """
+
+    def plan(self, specs: "Sequence[RunSpec]") -> "list[list[int]]":
+        """Partition ``specs`` into ordered blocks of batchable tasks.
+
+        Returns a list of index blocks covering ``range(len(specs))``
+        exactly once, in order.  Singleton blocks run through the normal
+        per-task path.  The default plan batches nothing.
+        """
+        return [[i] for i in range(len(specs))]
+
+    def execute(self, specs: "Sequence[RunSpec]") -> "list[Mapping]":
+        """Run one multi-task block; returns one value per spec, in order."""
+        raise NotImplementedError
+
+
 def _execute(spec: RunSpec) -> "tuple[str, Any, float]":
     """Worker entry point: run one task, capturing any exception.
 
@@ -150,6 +191,57 @@ def _execute(spec: RunSpec) -> "tuple[str, Any, float]":
     except Exception:  # noqa: BLE001 — isolation is the whole point
         return "error", traceback.format_exc(), time.perf_counter() - t0
     return "ok", value, time.perf_counter() - t0
+
+
+def _execute_unit(
+    unit: "tuple[RunSpec, ...]", batcher: "TaskBatcher | None"
+) -> "list[tuple[str, Any, float]]":
+    """Run one unit (a single task or a batched block); one outcome per task.
+
+    A multi-task block that raises falls back to per-task execution, so a
+    batch-infrastructure failure degrades to exactly the isolation
+    semantics of unbatched execution — with a :class:`RuntimeWarning`
+    naming the cause, since per-task execution may succeed and would
+    otherwise hide the batcher defect entirely.
+    ``KeyboardInterrupt``/``SystemExit`` propagate as in :func:`_execute`.
+    """
+    if len(unit) == 1 or batcher is None:
+        return [_execute(spec) for spec in unit]
+    t0 = time.perf_counter()
+    try:
+        values = batcher.execute(unit)
+    except Exception:  # noqa: BLE001 — degrade to per-task isolation
+        warnings.warn(
+            f"batched execution of a {len(unit)}-task block failed; "
+            f"falling back to per-task execution:\n{traceback.format_exc()}",
+            RuntimeWarning, stacklevel=2,
+        )
+        return [_execute(spec) for spec in unit]
+    if len(values) != len(unit):
+        warnings.warn(
+            f"batcher contract violation: {len(values)} values returned for "
+            f"a {len(unit)}-task block; falling back to per-task execution",
+            RuntimeWarning, stacklevel=2,
+        )
+        return [_execute(spec) for spec in unit]
+    per_task = (time.perf_counter() - t0) / len(unit)
+    return [("ok", value, per_task) for value in values]
+
+
+def _plan_units(
+    pending: "Sequence[tuple[int, RunSpec]]", batcher: "TaskBatcher | None"
+) -> "list[tuple[tuple[int, RunSpec], ...]]":
+    """Group the pending (position, spec) pairs into execution units."""
+    if batcher is None or len(pending) <= 1:
+        return [(entry,) for entry in pending]
+    blocks = batcher.plan([spec for _, spec in pending])
+    covered = sorted(i for block in blocks for i in block)
+    if covered != list(range(len(pending))):
+        raise ValueError(
+            f"batcher plan must partition all {len(pending)} pending tasks "
+            "exactly once"
+        )
+    return [tuple(pending[i] for i in block) for block in blocks]
 
 
 def _as_task_result(spec: RunSpec, status: str, payload: Any,
@@ -174,8 +266,9 @@ def run_campaign(
     jobs: "int | None" = 1,
     store: "ResultStore | None" = None,
     on_result: "Callable[[TaskResult], None] | None" = None,
+    batcher: "TaskBatcher | None" = None,
 ) -> CampaignResult:
-    """Execute a campaign of tasks, sharded and cached.
+    """Execute a campaign of tasks, sharded, cached, and optionally batched.
 
     Parameters
     ----------
@@ -191,6 +284,11 @@ def run_campaign(
     on_result:
         Streaming callback, invoked in completion order (cache hits
         first) from the calling process.
+    batcher:
+        Optional :class:`TaskBatcher` that groups contiguous compatible
+        cache misses into blocks executed by one call each.  Results,
+        cache addressing, and failure semantics are unchanged — batching
+        only reduces per-task invocation overhead.
 
     Returns
     -------
@@ -218,11 +316,14 @@ def run_campaign(
         else:
             pending.append((pos, spec))
 
-    if jobs == 1 or len(pending) <= 1:
-        for pos, spec in pending:
-            finish(pos, _as_task_result(spec, *_execute(spec)))
+    units = _plan_units(pending, batcher)
+    if jobs == 1 or len(units) <= 1:
+        for unit in units:
+            for (pos, spec), outcome in zip(unit, _execute_unit(
+                    tuple(spec for _, spec in unit), batcher)):
+                finish(pos, _as_task_result(spec, *outcome))
     else:
-        _run_pool(pending, jobs, finish)
+        _run_pool(units, jobs, batcher, finish)
 
     return CampaignResult(
         results=tuple(slots),
@@ -232,20 +333,32 @@ def run_campaign(
 
 
 def _run_pool(
-    pending: "Sequence[tuple[int, RunSpec]]",
+    units: "Sequence[tuple[tuple[int, RunSpec], ...]]",
     jobs: int,
+    batcher: "TaskBatcher | None",
     finish: "Callable[[int, TaskResult], None]",
 ) -> None:
-    """Shard pending tasks over a process pool, streaming completions.
+    """Shard execution units over a process pool, streaming completions.
 
-    Survives a broken pool (a worker killed by the OS mid-task): the
-    tasks that were in flight or still queued are recorded as failures
-    and the campaign result stays complete — submit errors never
-    propagate out of here.
+    A unit is one task or one batched block; blocks travel to a worker
+    whole.  A multi-task block whose future dies (worker killed mid-block,
+    result unpicklable) is re-enqueued as singleton units so only the task
+    that actually breaks a worker is lost — the same per-task isolation as
+    unbatched execution.  Survives a broken pool (a worker killed by the
+    OS mid-task): the tasks that were in flight or still queued are
+    recorded as failures and the campaign result stays complete — submit
+    errors never propagate out of here.
     """
-    max_workers = min(jobs, len(pending))
+    from collections import deque
+
+    max_workers = min(jobs, len(units))
     window = max_workers * _INFLIGHT_PER_JOB
-    queue = iter(pending)
+    queue = iter(units)
+    retries: "deque[tuple[tuple[int, RunSpec], ...]]" = deque()
+
+    def fail_unit(unit, note: str) -> None:
+        for pos, spec in unit:
+            finish(pos, _as_task_result(spec, "error", note, 0.0))
 
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         in_flight: dict = {}
@@ -253,32 +366,46 @@ def _run_pool(
 
         def refill() -> None:
             nonlocal pool_broken
-            for pos, spec in queue:
+            while not pool_broken and len(in_flight) < window:
+                unit = retries.popleft() if retries else next(queue, None)
+                if unit is None:
+                    break
+                spec_block = tuple(spec for _, spec in unit)
                 try:
-                    in_flight[pool.submit(_execute, spec)] = (pos, spec)
+                    in_flight[pool.submit(_execute_unit, spec_block, batcher)] = unit
                 except Exception:  # BrokenProcessPool, shutdown races
                     pool_broken = True
-                    finish(pos, _as_task_result(
-                        spec, "error",
-                        "task not attempted: worker pool broke\n"
-                        + traceback.format_exc(), 0.0))
-                if pool_broken or len(in_flight) >= window:
-                    break
+                    fail_unit(unit, "task not attempted: worker pool broke\n"
+                              + traceback.format_exc())
             if pool_broken:
-                for pos, spec in queue:
-                    finish(pos, _as_task_result(
-                        spec, "error",
-                        "task not attempted: worker pool broke", 0.0))
+                while retries:
+                    fail_unit(retries.popleft(),
+                              "task not attempted: worker pool broke")
+                for unit in queue:
+                    fail_unit(unit, "task not attempted: worker pool broke")
 
         refill()
         while in_flight:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
-                pos, spec = in_flight.pop(future)
+                unit = in_flight.pop(future)
                 try:
-                    status, payload, duration = future.result()
+                    outcomes = future.result()
                 except Exception:  # worker death / pickling failure
-                    status, payload, duration = (
-                        "error", traceback.format_exc(), 0.0)
-                finish(pos, _as_task_result(spec, status, payload, duration))
+                    if len(unit) > 1:
+                        # Don't fail the whole block for one bad task:
+                        # retry its tasks individually (at most once each) —
+                        # loudly, or a systematic batcher defect would hide
+                        # behind green per-task retries at ~2x the work.
+                        warnings.warn(
+                            f"batched block of {len(unit)} tasks failed to "
+                            "return from its worker; retrying per task:\n"
+                            + traceback.format_exc(),
+                            RuntimeWarning, stacklevel=2,
+                        )
+                        retries.extend((entry,) for entry in unit)
+                        continue
+                    outcomes = [("error", traceback.format_exc(), 0.0)]
+                for (pos, spec), outcome in zip(unit, outcomes):
+                    finish(pos, _as_task_result(spec, *outcome))
             refill()

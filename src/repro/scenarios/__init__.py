@@ -10,13 +10,16 @@ and the pipeline does the rest:
 - :mod:`repro.scenarios.loader` — TOML/JSON file loading.
 - :mod:`repro.scenarios.compiler` — resolution against the machine
   presets, workload models, and noise/campaign generators, plus engine
-  dispatch: the vectorized lockstep engine whenever the scenario fits its
-  uniform-network contract, the DAG engine otherwise.
+  dispatch: the batched hierarchy-aware lockstep engine by default
+  (including ``machine.ppn`` placement), the DAG engine as the forced
+  independent reference.
 - :mod:`repro.scenarios.runner` — deterministic execution and output
-  evaluation (:func:`run_scenario`).
+  evaluation (:func:`run_scenario`, batched :func:`run_scenario_batch`).
 - :mod:`repro.scenarios.sweep` — ``sweep:`` block expansion into
   :class:`repro.runtime.SweepSpec` grids: sharded, cached, bit-identical
   across worker counts.
+- :mod:`repro.scenarios.batch` — the campaign-runtime batcher that runs
+  contiguous replicate blocks as single batched-engine invocations.
 - :mod:`repro.scenarios.registry` — the bundled scenario files under
   ``scenarios/data/``.
 
@@ -29,6 +32,7 @@ Typical use::
     print(run.render())
 """
 
+from repro.scenarios.batch import ScenarioTaskBatcher
 from repro.scenarios.compiler import (
     CompiledScenario,
     compile_scenario,
@@ -43,7 +47,7 @@ from repro.scenarios.registry import (
     load_bundled_scenario,
     resolve_scenario,
 )
-from repro.scenarios.runner import ScenarioRun, run_scenario
+from repro.scenarios.runner import ScenarioRun, run_scenario, run_scenario_batch
 from repro.scenarios.spec import (
     CampaignSection,
     CommSection,
@@ -75,6 +79,7 @@ __all__ = [
     "ScenarioRun",
     "ScenarioSpec",
     "ScenarioSweepResult",
+    "ScenarioTaskBatcher",
     "SweepAxis",
     "SweepPointSummary",
     "SweepSection",
@@ -89,6 +94,7 @@ __all__ = [
     "parse_scenario_text",
     "resolve_scenario",
     "run_scenario",
+    "run_scenario_batch",
     "run_scenario_sweep",
     "scenario_sweep_spec",
 ]

@@ -22,7 +22,7 @@ import json
 import sys
 
 from repro.cli import jobs_arg
-from repro.scenarios.compiler import compile_scenario, lockstep_eligible
+from repro.scenarios.compiler import compile_scenario
 from repro.scenarios.errors import ScenarioError
 from repro.scenarios.registry import (
     bundled_scenario_names,
@@ -62,6 +62,9 @@ def build_scenario_parser() -> argparse.ArgumentParser:
                        help="worker processes for sweeps (0 = auto)")
         p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="content-addressed result store for sweep runs")
+        p.add_argument("--no-batch", action="store_true",
+                       help="run sweep replicates one engine call at a time "
+                            "instead of batched (results are identical)")
     return parser
 
 
@@ -77,10 +80,12 @@ def _cmd_list(args) -> int:
     rows = []
     for name in bundled_scenario_names():
         spec = load_bundled_scenario(name)
+        # Report the engine the compiler actually resolves to under the
+        # default dispatch, not a separate eligibility heuristic.
         rows.append({
             "name": name,
             "description": spec.description,
-            "engine": "lockstep" if lockstep_eligible(spec) else "dag",
+            "engine": compile_scenario(spec).engine,
             "sweep_size": spec.sweep.size if spec.sweep is not None else 1,
         })
     if args.as_json:
@@ -122,6 +127,7 @@ def _cmd_run(args) -> int:
         result = run_scenario_sweep(
             spec, base_seed=args.seed, engine=args.engine,
             jobs=args.jobs, store=_store(args.cache_dir),
+            batch=not args.no_batch,
         )
         print(result.render())
         return 0
@@ -135,6 +141,7 @@ def _cmd_sweep(args) -> int:
     result = run_scenario_sweep(
         spec, base_seed=args.seed, engine=args.engine,
         jobs=args.jobs, store=_store(args.cache_dir),
+        batch=not args.no_batch,
     )
     print(result.render())
     return 0

@@ -5,11 +5,13 @@ against the machine presets (:mod:`repro.cluster.presets`), the workload
 models (:mod:`repro.workloads`), and the noise/campaign generators
 (:mod:`repro.sim.noise`, :mod:`repro.sim.campaign`), then picks the engine:
 
-- the **vectorized lockstep engine** whenever the scenario fits its
-  contract — a uniform network (every message crosses one communication
-  domain), which is every scenario *without* hierarchical placement;
-- the **DAG engine** otherwise (``machine.ppn`` places ranks on the
-  preset's topology, making flight times domain-dependent).
+- the **vectorized lockstep engine** is the default for every declarative
+  scenario — including hierarchical placement (``machine.ppn``), which it
+  handles natively by resolving per-message flight times and overheads
+  through the preset's topology (intra-node vs inter-node tiers);
+- the **DAG engine** remains available as the independent reference
+  (``engine="dag"``) and as the only engine for irregular programs built
+  outside the scenario layer (collectives, custom operation schedules).
 
 All failures raise :class:`~repro.scenarios.errors.ScenarioError` naming
 the offending spec field.
@@ -49,12 +51,14 @@ _DEFAULT_MSG_SIZE = 8192
 def lockstep_eligible(spec: ScenarioSpec) -> bool:
     """Whether the scenario fits the vectorized lockstep engine's contract.
 
-    The lockstep engine requires a uniform network: one flight time and
-    one overhead for every message.  Hierarchical placement
-    (``machine.ppn``) mixes communication domains, so those scenarios run
-    on the DAG engine.
+    Every declarative scenario does: the scenario layer only builds
+    standard bulk-synchronous lockstep programs, and the engine is
+    hierarchy-aware — ``machine.ppn`` placement resolves to per-message
+    network tiers instead of forcing the DAG fallback.  The function is
+    kept (always ``True``) as the dispatch predicate so irregular program
+    shapes added later have a single place to opt out.
     """
-    return spec.machine.ppn is None
+    return True
 
 
 @dataclass(frozen=True)
@@ -201,9 +205,9 @@ def compile_scenario(spec: ScenarioSpec, engine: str = "auto") -> CompiledScenar
         compilation targets the base point (sweeps expand via
         :mod:`repro.scenarios.sweep`).
     engine:
-        ``auto`` dispatches to the lockstep engine when the scenario fits
-        its contract, else the DAG engine; ``lockstep``/``dag`` force one
-        (forcing ``lockstep`` on an ineligible scenario is an error).
+        ``auto`` dispatches to the lockstep engine (the default for every
+        declarative scenario, hierarchical or flat); ``lockstep``/``dag``
+        force one — ``dag`` runs the authoritative reference engine.
     """
     if engine not in ENGINES:
         raise ScenarioError(
@@ -279,17 +283,13 @@ def compile_scenario(spec: ScenarioSpec, engine: str = "auto") -> CompiledScenar
                                 scenario=spec.name) from exc
 
     eligible = lockstep_eligible(spec)
-    if engine == "lockstep" and not eligible:
-        raise ScenarioError(
-            "scenario is not lockstep-eligible: 'machine.ppn' places ranks "
-            "hierarchically, which makes the network non-uniform; use "
-            "engine='dag' or 'auto'",
-            path="machine.ppn", scenario=spec.name,
-        )
     chosen = engine if engine != "auto" else ("lockstep" if eligible else "dag")
 
+    # Hierarchical placement resolves against the preset's per-domain
+    # network on both engines; flat scenarios keep the collapsed uniform
+    # model (a single well-defined T_comm).
     network: NetworkModel
-    if chosen == "dag" and mapping is not None:
+    if mapping is not None:
         network = machine.network
     else:
         network = uniform_net

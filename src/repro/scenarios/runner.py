@@ -1,20 +1,31 @@
 """Scenario execution: compiled spec → engine run → outputs.
 
-One entry point, :func:`run_scenario`, owns the full deterministic
-pipeline:
+Two entry points own the full deterministic pipeline:
 
-1. draw the delay campaign's schedule (if any) and the noise matrix from
-   a single :class:`numpy.random.Generator` seeded by the run seed, so a
-   scenario + seed is bit-reproducible across processes;
-2. execute on the engine the compiler chose (or an explicit override) —
-   both engines consume the *same* execution-time matrix, which is what
-   makes cross-engine results bit-identical on the lockstep contract;
-3. evaluate the requested outputs.
+- :func:`run_scenario` executes one scenario:
+
+  1. draw the delay campaign's schedule (if any) and the noise matrix from
+     a single :class:`numpy.random.Generator` seeded by the run seed, so a
+     scenario + seed is bit-reproducible across processes;
+  2. execute on the engine the compiler chose (or an explicit override) —
+     both engines consume the *same* execution-time matrix, which is what
+     makes cross-engine results agree to machine precision;
+  3. evaluate the requested outputs.
+
+- :func:`run_scenario_batch` executes B runs of *one* compiled scenario
+  (differing only in their seeds — e.g. the replicate draws of a delay
+  campaign) as a single ``[B, n_ranks, n_steps]`` invocation of the
+  batched lockstep engine.  Step 1 and 3 run per seed exactly as in the
+  serial path and the batched recurrence is elementwise along the batch
+  axis, so every run's outputs are **bit-identical** to what
+  :func:`run_scenario` produces for the same seed — the contract the
+  campaign runtime's content-addressed cache relies on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -24,10 +35,10 @@ from repro.scenarios.outputs import compute_outputs
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.engine import SimConfig, simulate
 from repro.sim.hybrid import HybridConfig, hybrid_exec_times
-from repro.sim.lockstep import simulate_lockstep
+from repro.sim.lockstep import simulate_lockstep, simulate_lockstep_batch
 from repro.sim.program import build_lockstep_program
 
-__all__ = ["ScenarioRun", "run_scenario"]
+__all__ = ["PreparedRun", "ScenarioRun", "run_scenario", "run_scenario_batch"]
 
 
 @dataclass
@@ -65,30 +76,31 @@ class ScenarioRun:
         return "\n".join(parts)
 
 
-def run_scenario(
-    scenario: "ScenarioSpec | CompiledScenario",
-    seed: "int | None" = None,
-    engine: str = "auto",
-) -> ScenarioRun:
-    """Execute one scenario and evaluate its outputs.
+@dataclass
+class PreparedRun:
+    """One scenario run's fully drawn inputs, ready for an engine.
 
-    Parameters
-    ----------
-    scenario:
-        A spec (compiled here) or an already compiled scenario.  A
-        ``sweep`` block is ignored — this runs the base point; use
-        :mod:`repro.scenarios.sweep` for grids.
-    seed:
-        Run seed; defaults to the spec's own ``seed``.  All randomness
-        (campaign schedule, noise) derives from it.
-    engine:
-        Engine override, forwarded to the compiler when ``scenario`` is a
-        spec.  Ignored for pre-compiled scenarios.
+    ``cfg`` carries the merged delays (explicit + campaign draw) and the
+    run seed; ``exec_times`` is the complete ``[n_ranks, n_steps]``
+    execution-time matrix — the only thing either engine consumes besides
+    the static pattern/network parameters.
     """
-    if isinstance(scenario, CompiledScenario):
-        compiled = scenario
-    else:
-        compiled = compile_scenario(scenario, engine=engine)
+
+    cfg: "object"  # LockstepConfig
+    exec_times: np.ndarray
+    seed: int
+    n_campaign_delays: int
+
+
+def prepare_scenario_run(
+    compiled: CompiledScenario, seed: "int | None" = None
+) -> PreparedRun:
+    """Draw all randomness for one run of a compiled scenario.
+
+    Deterministic per ``(compiled, seed)``: the campaign schedule and the
+    noise matrix both derive from one generator seeded by the run seed,
+    exactly as the serial pipeline has always done.
+    """
     spec = compiled.spec
     run_seed = spec.seed if seed is None else int(seed)
     rng = np.random.default_rng(run_seed)
@@ -114,23 +126,112 @@ def run_scenario(
 
         exec_times = build_exec_times(cfg, rng)
 
+    return PreparedRun(
+        cfg=cfg, exec_times=exec_times, seed=run_seed,
+        n_campaign_delays=len(campaign_delays),
+    )
+
+
+def _execute_prepared(compiled: CompiledScenario, prepared: PreparedRun) -> RunTiming:
+    """Run one prepared scenario on the compiled engine choice."""
     if compiled.engine == "lockstep":
         result = simulate_lockstep(
-            cfg, exec_times=exec_times, network=compiled.network,
-            domain=compiled.domain, protocol=compiled.protocol,
-            eager_limit=compiled.eager_limit,
+            prepared.cfg, exec_times=prepared.exec_times,
+            network=compiled.network, domain=compiled.domain,
+            protocol=compiled.protocol, eager_limit=compiled.eager_limit,
+            mapping=compiled.mapping,
         )
-        timing = RunTiming.from_lockstep(result)
-    else:
-        program = build_lockstep_program(cfg, exec_times)
-        trace = simulate(program, SimConfig(
-            network=compiled.network, mapping=compiled.mapping,
-            eager_limit=compiled.eager_limit, protocol=compiled.protocol,
-        ))
-        timing = RunTiming.from_trace(trace)
+        return RunTiming.from_lockstep(result)
+    program = build_lockstep_program(prepared.cfg, prepared.exec_times)
+    trace = simulate(program, SimConfig(
+        network=compiled.network, mapping=compiled.mapping,
+        eager_limit=compiled.eager_limit, protocol=compiled.protocol,
+    ))
+    return RunTiming.from_trace(trace)
 
+
+def finish_scenario_run(
+    compiled: CompiledScenario, prepared: PreparedRun, timing: RunTiming
+) -> ScenarioRun:
+    """Evaluate the scenario's requested outputs against a finished run."""
     data, tables = compute_outputs(compiled, timing)
     return ScenarioRun(
-        compiled=compiled, seed=run_seed, timing=timing,
-        n_campaign_delays=len(campaign_delays), data=data, tables=tables,
+        compiled=compiled, seed=prepared.seed, timing=timing,
+        n_campaign_delays=prepared.n_campaign_delays, data=data, tables=tables,
     )
+
+
+def run_scenario(
+    scenario: "ScenarioSpec | CompiledScenario",
+    seed: "int | None" = None,
+    engine: str = "auto",
+) -> ScenarioRun:
+    """Execute one scenario and evaluate its outputs.
+
+    Parameters
+    ----------
+    scenario:
+        A spec (compiled here) or an already compiled scenario.  A
+        ``sweep`` block is ignored — this runs the base point; use
+        :mod:`repro.scenarios.sweep` for grids.
+    seed:
+        Run seed; defaults to the spec's own ``seed``.  All randomness
+        (campaign schedule, noise) derives from it.
+    engine:
+        Engine override, forwarded to the compiler when ``scenario`` is a
+        spec.  Ignored for pre-compiled scenarios.
+    """
+    if isinstance(scenario, CompiledScenario):
+        compiled = scenario
+    else:
+        compiled = compile_scenario(scenario, engine=engine)
+    prepared = prepare_scenario_run(compiled, seed)
+    timing = _execute_prepared(compiled, prepared)
+    return finish_scenario_run(compiled, prepared, timing)
+
+
+def run_scenario_batch(
+    scenario: "ScenarioSpec | CompiledScenario",
+    seeds: Sequence[int],
+    engine: str = "auto",
+) -> "list[ScenarioRun]":
+    """Execute one scenario for many seeds as a single batched engine call.
+
+    The runs share everything but their seed (campaign schedule, noise
+    draw), which is the shape of a delay-campaign replicate block.  On the
+    lockstep engine the B execution-time matrices are stacked into one
+    ``[B, n_ranks, n_steps]`` recurrence; on the DAG engine (forced, or
+    chosen for a program the fast path cannot express) the runs execute
+    serially.  Either way, each returned :class:`ScenarioRun` is
+    bit-identical to ``run_scenario(scenario, seed=s)`` for its seed.
+    """
+    if isinstance(scenario, CompiledScenario):
+        compiled = scenario
+    else:
+        compiled = compile_scenario(scenario, engine=engine)
+    if not seeds:
+        return []
+    prepared = [prepare_scenario_run(compiled, s) for s in seeds]
+
+    if compiled.engine != "lockstep":
+        return [
+            finish_scenario_run(compiled, p, _execute_prepared(compiled, p))
+            for p in prepared
+        ]
+
+    stacked = np.stack([p.exec_times for p in prepared])
+    batch = simulate_lockstep_batch(
+        compiled.cfg, stacked,
+        network=compiled.network, domain=compiled.domain,
+        protocol=compiled.protocol, eager_limit=compiled.eager_limit,
+        mapping=compiled.mapping,
+    )
+    runs = []
+    for b, p in enumerate(prepared):
+        result = batch[b]
+        result.meta.pop("n_batch", None)
+        result.meta.update({"delays": p.cfg.delays, "seed": p.seed})
+        runs.append(
+            finish_scenario_run(compiled, p, RunTiming.from_lockstep(result))
+        )
+    return runs

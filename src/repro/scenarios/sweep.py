@@ -50,24 +50,48 @@ def scenario_sweep_spec(
     the spec fails here with the offending path — not inside a worker
     process halfway through the campaign.
 
+    ``engine="auto"`` is resolved to the *concrete* engine the compiler
+    chooses before it enters the task parameters, so the content hash
+    that addresses the result store names the engine whose semantics
+    produced the result — a dispatch-rule change can never silently serve
+    results computed under the old rule.  A grid whose points resolve to
+    *different* engines is rejected (force one explicitly): the literal
+    ``"auto"`` must never reach a cache key.
+
     Scenarios *without* a ``sweep`` block expand to a single-task grid,
     which keeps caching and sharding uniform for the CLI.
     """
     document = spec.without_sweep().to_dict()
     points = _grid_points(spec)
+    chosen: "set[str]" = set()
     for point in points:
         candidate = apply_overrides(document, point) if point else document
         try:
-            compile_scenario(ScenarioSpec.from_dict(candidate), engine=engine)
+            compiled = compile_scenario(ScenarioSpec.from_dict(candidate),
+                                        engine=engine)
         except ScenarioError as exc:
             raise ScenarioError(
                 f"sweep point {point!r} does not compile: {exc.message}",
                 path=exc.path, scenario=spec.name,
             ) from exc
+        chosen.add(compiled.engine)
+    resolved_engine = engine
+    if engine == "auto":
+        if len(chosen) != 1:
+            # Never let the literal "auto" reach the cache key: a key that
+            # does not name the engine would survive dispatch-rule changes
+            # and serve results computed under the old rule.
+            raise ScenarioError(
+                f"sweep grid points resolve to multiple engines "
+                f"({sorted(chosen)}); force one with engine='lockstep' or "
+                "engine='dag' so cached results are unambiguous",
+                path="sweep", scenario=spec.name,
+            )
+        resolved_engine = chosen.pop()
     replicates = spec.sweep.replicates if spec.sweep is not None else 1
     return SweepSpec(
         fn="repro.scenarios.tasks:scenario_task",
-        base={"scenario": document, "engine": engine},
+        base={"scenario": document, "engine": resolved_engine},
         axes=(
             ("overrides", tuple(points)),
             ("replicate", tuple(range(replicates))),
@@ -142,14 +166,23 @@ def run_scenario_sweep(
     engine: str = "auto",
     jobs: int = 1,
     store=None,
+    batch: bool = True,
 ) -> ScenarioSweepResult:
     """Run a scenario's grid through the campaign runtime and aggregate.
 
     ``jobs``/``store`` are forwarded to
     :func:`repro.runtime.executor.run_campaign`; task failures raise.
+    With ``batch`` (the default) contiguous replicate blocks of one grid
+    point execute as single batched-engine invocations — results are
+    bit-identical to unbatched runs, only faster.
     """
+    from repro.scenarios.batch import ScenarioTaskBatcher
+
     sweep = scenario_sweep_spec(spec, base_seed=base_seed, engine=engine)
-    campaign = run_campaign(sweep.tasks(), jobs=jobs, store=store)
+    campaign = run_campaign(
+        sweep.tasks(), jobs=jobs, store=store,
+        batcher=ScenarioTaskBatcher() if batch else None,
+    )
     campaign.raise_failures()
 
     grouped: "dict[str, tuple[dict, list]]" = {}

@@ -15,7 +15,24 @@ from typing import Any, Mapping
 
 from repro.scenarios.spec import ScenarioSpec, apply_overrides
 
-__all__ = ["scenario_task"]
+__all__ = ["resolve_task_scenario", "scenario_task"]
+
+
+def resolve_task_scenario(
+    scenario: Mapping, overrides: "Mapping[str, Any] | None" = None
+) -> ScenarioSpec:
+    """Resolve a task's scenario document + overrides into a spec.
+
+    The single definition of how campaign tasks interpret their scenario
+    parameters — shared by :func:`scenario_task` and the batched path
+    (:class:`repro.scenarios.batch.ScenarioTaskBatcher`), so the two can
+    never drift apart and break their bit-identity contract.
+    """
+    data = dict(scenario)
+    data.pop("sweep", None)
+    if overrides:
+        data = apply_overrides(data, overrides)
+    return ScenarioSpec.from_dict(data)
 
 
 def scenario_task(
@@ -44,11 +61,7 @@ def scenario_task(
     """
     from repro.scenarios.runner import run_scenario
 
-    data = dict(scenario)
-    data.pop("sweep", None)
-    if overrides:
-        data = apply_overrides(data, overrides)
-    spec = ScenarioSpec.from_dict(data)
+    spec = resolve_task_scenario(scenario, overrides)
     run = run_scenario(spec, seed=seed, engine=engine)
     return {
         "outputs": run.data,

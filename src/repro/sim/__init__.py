@@ -18,8 +18,9 @@ the paper's experiments run on:
   semantics.
 - :mod:`repro.sim.engine` — the authoritative static-DAG discrete-event
   engine.
-- :mod:`repro.sim.lockstep` — a vectorized fast path for the standard
-  lockstep pattern, validated against the DAG engine.
+- :mod:`repro.sim.lockstep` — the batched, hierarchy-aware vectorized
+  fast path for the standard lockstep pattern, validated against the DAG
+  engine (golden traces + property tests).
 - :mod:`repro.sim.saturation` — processor-sharing simulation of shared
   memory-bandwidth contention for data-bound workloads.
 - :mod:`repro.sim.trace` — trace records and timing matrices consumed by the
@@ -34,7 +35,12 @@ from repro.sim.collectives import (
 from repro.sim.delay import DelaySpec, delays_at_local_rank, random_delays
 from repro.sim.engine import SimConfig, simulate
 from repro.sim.hybrid import HybridConfig, hybrid_exec_times, hybrid_lockstep_config
-from repro.sim.lockstep import LockstepResult, simulate_lockstep
+from repro.sim.lockstep import (
+    BatchedLockstepResult,
+    LockstepResult,
+    simulate_lockstep,
+    simulate_lockstep_batch,
+)
 from repro.sim.mpi import Protocol, select_protocol
 from repro.sim.network import HockneyModel, LogGPModel, NetworkModel, UniformNetwork
 from repro.sim.noise import (
@@ -62,6 +68,7 @@ from repro.sim.trace import OpRecord, Trace
 from repro.sim.traceio import read_jsonl, write_csv, write_jsonl
 
 __all__ = [
+    "BatchedLockstepResult",
     "BimodalNoise",
     "Collective",
     "CollectiveConfig",
@@ -103,6 +110,7 @@ __all__ = [
     "select_protocol",
     "simulate",
     "simulate_lockstep",
+    "simulate_lockstep_batch",
     "simulate_saturation",
     "write_csv",
     "write_jsonl",

@@ -116,18 +116,27 @@ class TestEngineDispatch:
         assert lockstep_eligible(s)
         assert compile_scenario(s).engine == "lockstep"
 
-    def test_ppn_falls_back_to_dag(self):
+    def test_ppn_scenario_goes_lockstep_with_hierarchy(self):
+        # Hierarchical placement no longer forces the DAG fallback: the
+        # lockstep engine resolves per-message tiers through the mapping.
         s = spec(machine={"preset": "emmy", "ppn": 2})
-        assert not lockstep_eligible(s)
+        assert lockstep_eligible(s)
         c = compile_scenario(s)
-        assert c.engine == "dag"
+        assert c.engine == "lockstep"
         assert c.mapping is not None
         assert c.network is EMMY.network  # per-domain model, not collapsed
 
-    def test_forced_lockstep_on_ineligible_scenario_errors(self):
-        with pytest.raises(ScenarioError, match="not lockstep-eligible"):
-            compile_scenario(spec(machine={"preset": "emmy", "ppn": 2}),
+    def test_forced_lockstep_on_ppn_scenario_is_allowed(self):
+        c = compile_scenario(spec(machine={"preset": "emmy", "ppn": 2}),
                              engine="lockstep")
+        assert c.engine == "lockstep"
+        assert c.mapping is not None
+
+    def test_forced_dag_on_ppn_scenario_keeps_per_domain_network(self):
+        c = compile_scenario(spec(machine={"preset": "emmy", "ppn": 2}),
+                             engine="dag")
+        assert c.engine == "dag"
+        assert c.network is EMMY.network
 
     def test_forced_dag_on_eligible_scenario(self):
         assert compile_scenario(spec(), engine="dag").engine == "dag"

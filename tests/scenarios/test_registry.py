@@ -46,9 +46,11 @@ class TestBundled:
         assert hybrid.sweep is not None
         assert any(a.path == "workload.threads" for a in hybrid.sweep.axes)
 
-    def test_dag_fallback_scenario_present(self):
-        # At least one bundled scenario exercises the DAG fallback path.
-        assert any(not lockstep_eligible(s) for s in iter_bundled_scenarios())
+    def test_hierarchical_scenario_present(self):
+        # At least one bundled scenario exercises hierarchical placement
+        # (the two-tier path of the lockstep engine, DAG-checkable).
+        assert any(s.machine.ppn is not None for s in iter_bundled_scenarios())
+        assert all(lockstep_eligible(s) for s in iter_bundled_scenarios())
 
     def test_names_sorted_and_unique(self):
         names = bundled_scenario_names()

@@ -19,8 +19,22 @@ class TestList:
         assert main(["scenario", "list", "--json"]) == 0
         rows = json.loads(capsys.readouterr().out)
         by_name = {r["name"]: r for r in rows}
-        assert by_name["emmy_mapped_dag"]["engine"] == "dag"
         assert by_name["campaign_rate_sweep"]["sweep_size"] > 1
+
+    def test_json_reports_resolved_engine_per_scenario(self, capsys):
+        """``list --json`` states the engine each scenario dispatches to —
+        the compiler's actual resolution, not a side heuristic."""
+        from repro.scenarios import compile_scenario, load_bundled_scenario
+
+        assert main(["scenario", "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows, "list --json returned no scenarios"
+        for row in rows:
+            assert row["engine"] == \
+                compile_scenario(load_bundled_scenario(row["name"])).engine
+        by_name = {r["name"]: r for r in rows}
+        # hierarchical placement now resolves to the lockstep engine
+        assert by_name["emmy_mapped_dag"]["engine"] == "lockstep"
 
 
 class TestValidate:
