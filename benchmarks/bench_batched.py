@@ -32,7 +32,7 @@ from repro.sim import simulate_lockstep, simulate_lockstep_batch
 N_DRAWS = 64
 
 
-def test_bench_batched_engine_speedup_64_draw_campaign(once):
+def test_bench_batched_engine_speedup_64_draw_campaign(once, bench_record):
     """One batched call vs 64 per-draw engine invocations, >= 3x."""
     spec = load_bundled_scenario("campaign_rate_sweep").without_sweep()
     compiled = compile_scenario(spec)
@@ -77,6 +77,8 @@ def test_bench_batched_engine_speedup_64_draw_campaign(once):
     speedup = t_serial / t_batched
     print(f"\n{N_DRAWS}-draw campaign: per-draw {t_serial * 1e3:.1f} ms, "
           f"batched {t_batched * 1e3:.1f} ms ({speedup:.1f}x)")
+    bench_record(n_draws=N_DRAWS, t_per_draw_s=t_serial,
+                 t_batched_s=t_batched, speedup=speedup)
 
     # Correctness alongside speed: slices are bit-identical to the draws.
     for b, serial in enumerate(serial_results):
@@ -84,7 +86,7 @@ def test_bench_batched_engine_speedup_64_draw_campaign(once):
     assert speedup >= 3.0, f"batched speedup {speedup:.2f}x < 3x"
 
 
-def test_bench_batched_sweep_bit_identity_and_speedup(once):
+def test_bench_batched_sweep_bit_identity_and_speedup(once, bench_record):
     """The sweep runtime with the batcher: same bytes, less wall clock."""
     spec = load_bundled_scenario("campaign_rate_sweep")
 
@@ -110,10 +112,12 @@ def test_bench_batched_sweep_bit_identity_and_speedup(once):
     print(f"\nsweep ({len(batched.campaign)} tasks): unbatched "
           f"{t_serial * 1e3:.1f} ms, batched {t_batched * 1e3:.1f} ms "
           f"({t_serial / t_batched:.1f}x)")
+    bench_record(n_tasks=len(batched.campaign), t_unbatched_s=t_serial,
+                 t_batched_s=t_batched, speedup=t_serial / t_batched)
     assert t_batched < t_serial
 
 
-def test_bench_hierarchical_lockstep_vs_dag(once):
+def test_bench_hierarchical_lockstep_vs_dag(once, bench_record):
     """The two-tier scenario's lockstep dispatch vs the DAG reference."""
     spec = load_bundled_scenario("emmy_mapped_dag")
 
@@ -134,6 +138,8 @@ def test_bench_hierarchical_lockstep_vs_dag(once):
     )
     print(f"\nhierarchical: lockstep {t_fast * 1e3:.1f} ms vs DAG "
           f"{t_slow * 1e3:.1f} ms ({t_slow / max(t_fast, 1e-9):.1f}x)")
+    bench_record(t_lockstep_s=t_fast, t_dag_s=t_slow,
+                 speedup=t_slow / max(t_fast, 1e-9))
 
 
 def test_bench_batched_hierarchical_campaign(once):

@@ -34,7 +34,7 @@ SWEEP = SweepSpec(
 )
 
 
-def test_bench_runtime_parallel_speedup(once):
+def test_bench_runtime_parallel_speedup(once, bench_record):
     tasks = SWEEP.tasks()
 
     def compare():
@@ -49,6 +49,9 @@ def test_bench_runtime_parallel_speedup(once):
     serial, sharded, t_serial, t_sharded = once(compare)
     print(f"\nserial {t_serial:.2f}s vs 4 jobs {t_sharded:.2f}s "
           f"(speedup {t_serial / t_sharded:.2f}x on {os.cpu_count()} CPUs)")
+    bench_record(n_runs=N_RUNS, jobs=4, cpus=os.cpu_count(),
+                 t_serial_s=t_serial, t_sharded_s=t_sharded,
+                 speedup=t_serial / t_sharded)
 
     assert not serial.failures and not sharded.failures
     # Sharding must never change values: bit-identical campaign results.
@@ -59,7 +62,7 @@ def test_bench_runtime_parallel_speedup(once):
         pytest.skip(f"speedup assertion needs >= 4 CPUs, have {os.cpu_count()}")
 
 
-def test_bench_runtime_cache_hit(once, tmp_path, monkeypatch):
+def test_bench_runtime_cache_hit(once, tmp_path, monkeypatch, bench_record):
     store = ResultStore(tmp_path / "store")
     tasks = SWEEP.tasks()
 
@@ -83,6 +86,10 @@ def test_bench_runtime_cache_hit(once, tmp_path, monkeypatch):
     t_warm = warm.elapsed
     print(f"\ncold {t_cold:.2f}s ({calls_cold} engine calls) vs "
           f"warm {t_warm * 1e3:.1f}ms ({calls['n'] - calls_cold} engine calls)")
+    bench_record(n_runs=N_RUNS, t_cold_s=t_cold, t_warm_s=t_warm,
+                 speedup=t_cold / max(t_warm, 1e-9),
+                 engine_calls_cold=calls_cold,
+                 engine_calls_warm=calls["n"] - calls_cold)
 
     # Zero engine invocations on the warm rerun, and identical values.
     assert calls["n"] == calls_cold

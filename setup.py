@@ -18,7 +18,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    package_data={"repro.scenarios": ["data/*.toml", "data/*.json"]},
+    package_data={
+        "repro.scenarios": ["data/*.toml", "data/*.json"],
+        "repro.reports": ["data/*.toml", "data/*.json"],
+    },
     python_requires=">=3.11",
     install_requires=["numpy"],
     entry_points={

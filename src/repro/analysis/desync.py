@@ -62,6 +62,9 @@ def overlap_efficiency(run) -> float:
     ranks*) overlapped — the automatic-overlap effect of Fig. 1.
     """
     timing = RunTiming.of(run)
+    if timing.n_steps == 0:
+        raise ValueError("run has no time budget to compare against "
+                         "(zero steps)")
     exec_start = np.empty_like(timing.exec_end)
     exec_start[:, 0] = 0.0
     exec_start[:, 1:] = timing.completion[:, :-1]

@@ -14,6 +14,13 @@ Usage::
     repro-experiment scenario validate my_scenario.toml # compile-check a file
     repro-experiment scenario sweep campaign_rate_sweep --jobs 4
 
+    repro-experiment report list                        # bundled reports
+    repro-experiment report run fig7_speed --cache-dir ~/.cache/repro
+    repro-experiment report validate my_report.toml     # compile-check a file
+
+    repro-experiment store ls --cache-dir ~/.cache/repro   # cache contents
+    repro-experiment store gc --cache-dir ~/.cache/repro   # prune orphans
+
     repro-experiment golden --check       # verify the golden-trace corpus
     repro-experiment golden --regen       # regenerate tests/golden/
 
@@ -66,16 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
             "('repro-experiment scenario --help')."
         ),
         epilog=(
-            "The 'scenario' command delegates to its own subcommands: "
-            "repro-experiment scenario {list,validate,run,sweep} ..."
+            "The 'scenario', 'report', and 'store' commands delegate to "
+            "their own subcommands: repro-experiment scenario "
+            "{list,validate,run,sweep}, repro-experiment report "
+            "{list,validate,run}, repro-experiment store {ls,gc} ..."
         ),
     )
     parser.add_argument(
         "experiment",
-        choices=[*sorted(EXPERIMENTS), "all", "list", "scenario", "golden"],
+        choices=[*sorted(EXPERIMENTS), "all", "list", "scenario", "report",
+                 "store", "golden"],
         help=(
-            "experiment id (paper figure), 'all', 'list', 'scenario' "
-            "(see epilog), or 'golden' (golden-trace corpus)"
+            "experiment id (paper figure), 'all', 'list', 'scenario' / "
+            "'report' / 'store' (see epilog), or 'golden' (golden-trace "
+            "corpus)"
         ),
     )
     parser.add_argument(
@@ -135,13 +146,21 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.scenarios.cli import scenario_main
 
         return scenario_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.reports.cli import report_main
+
+        return report_main(argv[1:])
+    if argv and argv[0] == "store":
+        from repro.runtime.cli import store_main
+
+        return store_main(argv[1:])
     if argv and argv[0] == "golden":
         from repro.golden import golden_main
 
         return golden_main(argv[1:])
 
     args = build_parser().parse_args(argv)
-    if args.experiment in ("scenario", "golden"):
+    if args.experiment in ("scenario", "report", "store", "golden"):
         # Reachable only when the subcommand is not the first token (e.g.
         # 'repro-experiment --seed 3 scenario'); its own arguments cannot
         # be recovered once argparse consumed the flags.

@@ -8,8 +8,11 @@ speeds are twice their d = 1 counterparts.
 
 from __future__ import annotations
 
-from repro.core import measure_speed, silent_speed
+from repro.core import silent_speed
+from repro.core.timing import RunTiming
 from repro.experiments.base import ExperimentResult
+from repro.reports.kernels import batched_wave_front, fit_front_speed
+from repro.reports.timing import BatchedTiming
 from repro.sim import (
     CommPattern,
     DelaySpec,
@@ -24,7 +27,7 @@ from repro.sim.topology import CommDomain
 from repro.viz.ascii_timeline import render_idle_heatmap
 from repro.viz.tables import format_table
 
-__all__ = ["run", "run_d2"]
+__all__ = ["run", "run_d2", "measure_speed_d2"]
 
 T_EXEC = 3e-3
 MSG_SIZE = 31080 * 8  # rendezvous-sized, as in Fig. 5's bottom row
@@ -45,6 +48,22 @@ def run_d2(direction: Direction, n_ranks: int = 18, n_steps: int = 20, seed: int
     return simulate(build_lockstep_program(cfg), SimConfig(network=UniformNetwork()))
 
 
+def measure_speed_d2(trace) -> float:
+    """Forward wave speed of one Fig. 7 panel via the shared report kernel.
+
+    The batched front walk + Eq. 2 fit in :mod:`repro.reports.kernels` is
+    the *same* code the ``fig7_speed`` report spec runs over the scenario
+    sweep, so the experiment and report paths cannot drift apart (the
+    parity test pins them to 1e-9).
+    """
+    batch = BatchedTiming.from_timings([RunTiming.of(trace)])
+    front = batched_wave_front(batch, SOURCE, direction=+1, periodic=False)
+    speed = float(fit_front_speed(front)[0])
+    if not speed > 0:
+        raise ValueError(f"no measurable idle wave from rank {SOURCE}")
+    return speed
+
+
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     """Regenerate the Fig. 7 speed comparison."""
     net = UniformNetwork()
@@ -55,11 +74,11 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     for label, direction in (("(a) unidirectional", Direction.UNIDIRECTIONAL),
                              ("(b) bidirectional", Direction.BIDIRECTIONAL)):
         trace = run_d2(direction, seed=seed)
-        meas = measure_speed(trace, SOURCE, +1)
+        speed = measure_speed_d2(trace)
         bidi = direction == Direction.BIDIRECTIONAL
         model = silent_speed(T_EXEC, t_comm, d=2, bidirectional=bidi, rendezvous=True)
-        rows.append((label, meas.speed, model, abs(meas.speed - model) / model * 100))
-        data[label] = {"trace": trace, "speed": meas.speed, "model": model}
+        rows.append((label, speed, model, abs(speed - model) / model * 100))
+        data[label] = {"trace": trace, "speed": speed, "model": model}
 
     ratio = data["(b) bidirectional"]["speed"] / data["(a) unidirectional"]["speed"]
     table = format_table(

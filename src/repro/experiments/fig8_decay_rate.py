@@ -21,8 +21,9 @@ import numpy as np
 
 from repro.analysis.statistics import RunStatistics
 from repro.cluster import EMMY, MEGGIE, SIMULATED, MachineSpec
-from repro.core import measure_decay
 from repro.experiments.base import ExperimentResult
+from repro.reports.kernels import batched_wave_front, front_decay
+from repro.reports.timing import BatchedTiming
 from repro.sim import (
     CommPattern,
     DelaySpec,
@@ -30,12 +31,13 @@ from repro.sim import (
     ExponentialNoise,
     LockstepConfig,
     NoiseModel,
-    simulate_lockstep,
+    simulate_lockstep_batch,
 )
 from repro.sim.noise import NoNoise
+from repro.sim.program import build_exec_times
 from repro.viz.tables import format_table
 
-__all__ = ["run", "decay_for", "DELAY_DURATION"]
+__all__ = ["run", "decay_batch", "decay_for", "DELAY_DURATION"]
 
 T_EXEC = 3e-3
 MSG_SIZE = 8192
@@ -59,23 +61,48 @@ class _CompositeNoise(NoiseModel):
         return self.natural.mean() + self.injected.mean()
 
 
-def decay_for(machine: MachineSpec, E: float, seed: int) -> float:
-    """Measure β̄ (seconds/rank) for one machine, noise level, and seed."""
+def decay_batch(machine: MachineSpec, E: float,
+                seeds: "list[int]") -> np.ndarray:
+    """β̄ (seconds/rank) for one machine and noise level over many seeds.
+
+    All seeds run as a *single* batched-lockstep recurrence and the decay
+    rates come out of the shared report kernel
+    (:func:`repro.reports.kernels.front_decay`) in one vectorized pass —
+    the same code path the ``fig8_decay`` report spec runs, so experiment
+    and report agree exactly (each batch slice is bit-identical to the
+    per-seed engine call the driver used to make).
+    """
     injected = ExponentialNoise(E * T_EXEC) if E > 0 else NoNoise()
     noise = _CompositeNoise(machine.natural_noise, injected)
-    cfg = LockstepConfig(
-        n_ranks=N_RANKS,
-        n_steps=N_STEPS,
-        t_exec=T_EXEC,
-        msg_size=MSG_SIZE,
-        pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1, periodic=True),
-        delays=(DelaySpec(rank=SOURCE, step=0, duration=DELAY_DURATION),),
-        noise=noise,
-        seed=seed,
-    )
-    res = simulate_lockstep(cfg)
-    meas = measure_decay(res, SOURCE, direction=+1, periodic=True)
-    return meas.beta
+    cfgs = [
+        LockstepConfig(
+            n_ranks=N_RANKS,
+            n_steps=N_STEPS,
+            t_exec=T_EXEC,
+            msg_size=MSG_SIZE,
+            pattern=CommPattern(direction=Direction.BIDIRECTIONAL, distance=1,
+                                periodic=True),
+            delays=(DelaySpec(rank=SOURCE, step=0, duration=DELAY_DURATION),),
+            noise=noise,
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    exec_times = np.stack([build_exec_times(cfg) for cfg in cfgs])
+    res = simulate_lockstep_batch(cfgs[0], exec_times)
+    batch = BatchedTiming.from_lockstep_batch(res)
+    front = batched_wave_front(batch, SOURCE, direction=+1, periodic=True)
+    betas = front_decay(front)["beta"]
+    if not np.all(np.isfinite(betas)):
+        dead = [s for s, b in zip(seeds, betas) if not np.isfinite(b)]
+        raise ValueError(f"no idle wave detected from rank {SOURCE} for "
+                         f"seed(s) {dead}")
+    return betas
+
+
+def decay_for(machine: MachineSpec, E: float, seed: int) -> float:
+    """Measure β̄ (seconds/rank) for one machine, noise level, and seed."""
+    return float(decay_batch(machine, E, [seed])[0])
 
 
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
@@ -90,7 +117,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     for sys_name, machine in systems:
         series = []
         for E in levels:
-            betas = [decay_for(machine, E, seed + r) for r in range(n_runs)]
+            betas = decay_batch(machine, E, [seed + r for r in range(n_runs)])
             stats = RunStatistics.from_samples(betas)
             rows.append(
                 (sys_name, E * 100, stats.median * 1e6, stats.minimum * 1e6,

@@ -1,0 +1,95 @@
+"""Strict plain-data section reader shared by the spec languages.
+
+Both declarative layers — scenarios (:mod:`repro.scenarios.spec`) and
+reports (:mod:`repro.reports.spec`) — parse TOML/JSON documents with the
+same discipline: typed ``take``s per field, a ``finish`` that rejects
+unknown keys, and every failure naming the exact dotted path of the
+offending entry.  :class:`StrictFields` is that reader, parameterized by
+the domain's error constructor so each layer raises its own exception
+type (``ScenarioError`` / ``ReportError``) with its own context — one
+implementation, no drift between the two spec languages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+__all__ = ["StrictFields"]
+
+
+class StrictFields:
+    """Strict reader over one section's mapping: typed takes + leftovers check.
+
+    Parameters
+    ----------
+    data:
+        The section's mapping (``None`` reads as empty).
+    path:
+        Dotted path of the section within the document (``""`` for the
+        document root).
+    make_error:
+        ``make_error(message, path) -> Exception`` building the domain
+        error with the field path attached.
+    root_label:
+        What to call the document root in the unknown-key message
+        (e.g. ``"scenario"`` / ``"report"``).
+    """
+
+    def __init__(self, data: Any, path: str,
+                 make_error: "Callable[[str, str], Exception]",
+                 root_label: str = "document") -> None:
+        self.path = path
+        self._make_error = make_error
+        self._root_label = root_label
+        if data is None:
+            data = {}
+        if not isinstance(data, Mapping):
+            raise make_error(
+                f"expected a table/mapping, got {type(data).__name__}", path)
+        self.data = dict(data)
+
+    def _sub(self, key: str) -> str:
+        return f"{self.path}.{key}" if self.path else key
+
+    def take(self, key: str, kind: str, default: Any = None,
+             required: bool = False) -> Any:
+        if key not in self.data:
+            if required:
+                raise self._make_error(
+                    f"required field is missing ({kind})", self._sub(key))
+            return default
+        value = self.data.pop(key)
+        return self._coerce(value, kind, self._sub(key))
+
+    def _coerce(self, value: Any, kind: str, path: str) -> Any:
+        ok: bool
+        if kind == "int":
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif kind == "float":
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            if ok:
+                value = float(value)
+        elif kind == "bool":
+            ok = isinstance(value, bool)
+        elif kind == "str":
+            ok = isinstance(value, str)
+        elif kind == "list":
+            ok = isinstance(value, (list, tuple))
+            if ok:
+                value = list(value)
+        elif kind == "table":
+            ok = isinstance(value, Mapping)
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown field kind {kind!r}")
+        if not ok:
+            raise self._make_error(
+                f"expected {kind}, got {type(value).__name__} ({value!r})",
+                path)
+        return value
+
+    def finish(self) -> None:
+        if self.data:
+            keys = ", ".join(sorted(map(repr, self.data)))
+            where = self.path or self._root_label
+            raise self._make_error(
+                f"unknown key(s) {keys} in '{where}' section", self.path)

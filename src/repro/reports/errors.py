@@ -1,0 +1,45 @@
+"""Report validation errors.
+
+Every rejection in the report layer raises :class:`ReportError` and names
+the exact spec field (dotted path, e.g. ``metrics[1].name``) that caused
+it, so a user editing a report TOML file is pointed at the offending line
+rather than at a Python traceback deep inside the compiler.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReportError"]
+
+
+class ReportError(ValueError):
+    """A report spec failed validation or compilation.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of what is wrong and what would fix it.
+    path:
+        Dotted path of the offending field within the report document
+        (e.g. ``"metrics[0].name"``), or ``""`` for document-level
+        problems.
+    report:
+        Name of the report, when known — distinguishes failures when
+        validating a batch of files.
+    """
+
+    def __init__(self, message: str, path: str = "", report: str = "") -> None:
+        self.message = message
+        self.path = path
+        self.report = report
+        prefix = ""
+        if report:
+            prefix += f"report {report!r}: "
+        if path:
+            prefix += f"field '{path}': "
+        super().__init__(prefix + message)
+
+    def with_report(self, name: str) -> "ReportError":
+        """A copy of this error tagged with the report name."""
+        if self.report:
+            return self
+        return ReportError(self.message, path=self.path, report=name)

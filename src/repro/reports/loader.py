@@ -1,0 +1,64 @@
+"""Loading report documents from TOML / JSON files.
+
+TOML is the native authoring format; JSON is accepted for
+machine-generated reports.  The file stem supplies the report name when
+the document has none, mirroring the scenario loader.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Any
+
+from repro.reports.errors import ReportError
+from repro.reports.spec import ReportSpec
+
+__all__ = ["load_report_file", "parse_report_text"]
+
+
+def parse_report_text(text: str, fmt: str = "toml",
+                      name: "str | None" = None) -> ReportSpec:
+    """Parse a report document from text (``fmt`` = ``toml`` | ``json``)."""
+    if fmt == "toml":
+        try:
+            data: Any = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ReportError(f"invalid TOML: {exc}", report=name or "") from exc
+    elif fmt == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReportError(f"invalid JSON: {exc}", report=name or "") from exc
+    else:
+        raise ReportError(f"unknown report format {fmt!r}; use 'toml' or 'json'")
+    return ReportSpec.from_dict(data, name=name)
+
+
+def load_report_file(path: "str | Path") -> ReportSpec:
+    """Load one report file (``.toml`` or ``.json``).
+
+    Raises
+    ------
+    ReportError
+        On unreadable files, malformed markup, or spec validation
+        failures — always naming the file and (where known) the offending
+        field path.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix not in (".toml", ".json"):
+        raise ReportError(
+            f"unsupported report file type {path.suffix!r} ({path}); "
+            "use .toml or .json"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReportError(f"cannot read report file {path}: {exc}") from exc
+    try:
+        return parse_report_text(text, fmt=suffix[1:], name=path.stem)
+    except ReportError as exc:
+        raise ReportError(f"{exc.message} (file: {path})", path=exc.path,
+                          report=exc.report or path.stem) from exc

@@ -1,0 +1,87 @@
+"""Store query layer: resolve a report's campaign against cached results.
+
+A report names a scenario sweep; the sweep expands into content-addressed
+tasks (:mod:`repro.runtime.spec`), and this module answers the question
+*"which of those results are already on disk?"* without constructing an
+executor.  When every task is cached, :func:`fetch_campaign` returns
+the values straight from the store — the engine is provably never
+touched (the execution path is not even imported).  On a miss it falls
+back to dispatching the remaining work through
+:func:`repro.runtime.executor.run_campaign`, inheriting ``--jobs``
+sharding, block batching, and deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.runtime.spec import RunSpec
+from repro.runtime.store import ResultStore
+
+__all__ = ["CampaignFetch", "load_cached", "fetch_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignFetch:
+    """The values of one campaign's tasks, with their provenance.
+
+    ``values`` is in task (spec) order; ``n_loaded`` counts results
+    served from the store, ``n_executed`` those freshly simulated.
+    """
+
+    values: "tuple[Mapping, ...]"
+    n_loaded: int
+    n_executed: int
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.values)
+
+
+def load_cached(
+    store: "ResultStore | None", specs: "Sequence[RunSpec]"
+) -> "tuple[list[Mapping | None], list[RunSpec]]":
+    """Look every task up by its content hash; no execution, ever.
+
+    Returns ``(values, missing)``: ``values`` has one entry per task in
+    order (``None`` on a miss), ``missing`` lists the specs that need
+    dispatching.  With no store, everything is missing.
+    """
+    if store is None:
+        return [None] * len(specs), list(specs)
+    values: "list[Mapping | None]" = [store.get(spec.key) for spec in specs]
+    missing = [spec for spec, value in zip(specs, values) if value is None]
+    return values, missing
+
+
+def fetch_campaign(
+    specs: "Sequence[RunSpec]",
+    store: "ResultStore | None" = None,
+    jobs: int = 1,
+    batcher=None,
+) -> CampaignFetch:
+    """All task values, from the store where possible, executed otherwise.
+
+    The fully-cached path never imports the executor: a report over an
+    already-run sweep performs zero engine invocations by construction.
+    Cache misses dispatch the *whole* campaign through
+    :func:`~repro.runtime.executor.run_campaign` (hits are still served
+    from the store inside it); any task failure raises
+    :class:`~repro.runtime.executor.TaskError`.
+    """
+    specs = tuple(specs)
+    values, missing = load_cached(store, specs)
+    if not missing:
+        return CampaignFetch(values=tuple(values), n_loaded=len(specs),
+                             n_executed=0)
+
+    from repro.runtime.executor import run_campaign
+
+    campaign = run_campaign(specs, jobs=jobs, store=store, batcher=batcher)
+    campaign.raise_failures()
+    return CampaignFetch(
+        values=tuple(result.value for result in campaign),
+        n_loaded=campaign.n_cached,
+        n_executed=campaign.n_executed,
+    )

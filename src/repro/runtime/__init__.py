@@ -42,6 +42,7 @@ Typical use::
 """
 
 from repro.runtime.aggregate import (
+    AggregationError,
     collect,
     group_by_param,
     reduce_runs,
@@ -57,11 +58,14 @@ from repro.runtime.executor import (
 )
 from repro.runtime.seeding import derive_rng, derive_seed, seed_sequence
 from repro.runtime.spec import RunSpec, SweepSpec, canonical, spec_key
-from repro.runtime.store import ResultStore
+from repro.runtime.store import GcStats, ResultStore, StoreEntry
 
 __all__ = [
+    "AggregationError",
     "CampaignResult",
+    "GcStats",
     "ResultStore",
+    "StoreEntry",
     "RunSpec",
     "SweepSpec",
     "TaskBatcher",

@@ -6,6 +6,14 @@ parameter before reducing.  These helpers keep that logic in one place
 and operate on plain values, :class:`~repro.runtime.executor.TaskResult`
 objects, or whole :class:`~repro.runtime.executor.CampaignResult`
 campaigns.
+
+Error contract: every way an aggregation can fail — an empty campaign, a
+campaign whose tasks all failed, a missing result field, an unknown sweep
+parameter — raises :class:`AggregationError` with a message naming what
+was being aggregated and what is available, never a bare ``KeyError``
+from deep inside a comprehension.  Partially-failed campaigns aggregate
+over their *successful* runs (failures are the executor's concern; see
+:meth:`~repro.runtime.executor.CampaignResult.raise_failures`).
 """
 
 from __future__ import annotations
@@ -14,7 +22,19 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["collect", "group_by_param", "reduce_runs", "summarize"]
+__all__ = ["AggregationError", "collect", "group_by_param", "reduce_runs",
+           "summarize"]
+
+
+class AggregationError(RuntimeError):
+    """Campaign results cannot be aggregated as requested.
+
+    Raised for empty campaigns (no successful runs to reduce), result
+    fields absent from a run, and sweep parameters the tasks were never
+    given.  The message always names the offending field/parameter and
+    what *is* available, so a typo in an analysis script fails with a
+    pointer instead of a ``KeyError`` traceback.
+    """
 
 
 def _values(runs: Any) -> "list[Mapping]":
@@ -32,23 +52,40 @@ def _values(runs: Any) -> "list[Mapping]":
 
 
 def collect(runs: Any, field: str) -> np.ndarray:
-    """Gather one numeric field across runs into an array (task order)."""
+    """Gather one numeric field across runs into an array (task order).
+
+    Raises
+    ------
+    AggregationError
+        If there are no successful runs, or ``field`` is missing from one.
+    """
     values = _values(runs)
+    if not values:
+        raise AggregationError(
+            f"cannot collect field {field!r}: the campaign has no "
+            "successful runs (empty, or every task failed)"
+        )
     try:
         return np.asarray([v[field] for v in values], dtype=float)
     except KeyError as exc:
-        raise KeyError(
+        raise AggregationError(
             f"field {field!r} missing from a run result; available fields "
-            f"of the first run: {sorted(values[0]) if values else '[]'}"
+            f"of the first run: {sorted(values[0])}"
         ) from exc
 
 
 def summarize(samples: "Iterable[float]",
               percentiles: "tuple[float, ...]" = (50.0, 95.0)) -> dict:
-    """Mean / std / min / max / percentile summary of one sample set."""
+    """Mean / std / min / max / percentile summary of one sample set.
+
+    Raises
+    ------
+    AggregationError
+        If the sample set is empty.
+    """
     arr = np.asarray(list(samples), dtype=float)
     if arr.size == 0:
-        raise ValueError("cannot summarize an empty sample set")
+        raise AggregationError("cannot summarize an empty sample set")
     out = {
         "n": int(arr.size),
         "mean": float(arr.mean()),
@@ -67,10 +104,18 @@ def reduce_runs(runs: Any, fields: "Iterable[str] | None" = None,
 
     ``fields`` defaults to every numeric field of the first run.
     Returns ``{field: {"n", "mean", "std", "min", "max", "p50", ...}}``.
+
+    Raises
+    ------
+    AggregationError
+        If the campaign has no successful runs, or a requested field is
+        missing.
     """
     values = _values(runs)
     if not values:
-        raise ValueError("cannot reduce an empty campaign")
+        raise AggregationError(
+            "cannot reduce an empty campaign (no successful runs)"
+        )
     if fields is None:
         fields = [k for k, v in values[0].items()
                   if isinstance(v, (int, float, np.integer, np.floating))
@@ -84,19 +129,34 @@ def group_by_param(results: Any, param: str) -> dict:
 
     Takes :class:`TaskResult` objects (or a whole campaign) and returns
     an insertion-ordered ``{param_value: [value_dict, ...]}`` mapping —
-    the shape the rate/level scans consume.
+    the shape the rate/level scans consume.  Failed tasks are skipped
+    (aggregate over what succeeded); a campaign with *no* successful
+    task cannot be grouped at all.
+
+    Raises
+    ------
+    AggregationError
+        If no task succeeded, or ``param`` is not a parameter of a task.
     """
     if hasattr(results, "results"):
         results = results.results  # CampaignResult
     grouped: dict = {}
+    n_failed = 0
+    results = list(results)
     for result in results:
         if not result.ok:
+            n_failed += 1
             continue
         kwargs = result.spec.kwargs
         if param not in kwargs:
-            raise KeyError(
+            raise AggregationError(
                 f"task {result.index} has no parameter {param!r}; "
                 f"available: {sorted(kwargs)}"
             )
         grouped.setdefault(kwargs[param], []).append(result.value)
+    if not grouped:
+        raise AggregationError(
+            f"cannot group by {param!r}: no successful task results "
+            f"({n_failed}/{len(results)} task(s) failed)"
+        )
     return grouped

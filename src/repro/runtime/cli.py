@@ -1,0 +1,103 @@
+"""``repro-experiment store`` subcommands: result-store maintenance.
+
+::
+
+    repro-experiment store ls --cache-dir DIR [--json]
+    repro-experiment store gc --cache-dir DIR [--dry-run]
+
+``ls`` lists every cached task result with its spec key, owning task
+function, derived seed, and on-disk size.  ``gc`` prunes unreferenced
+blobs — orphaned NPZ side-cars, unreadable/torn JSON records, and temp
+files abandoned by interrupted writes — without ever touching a valid
+record; until now the cache could only grow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.runtime.store import ResultStore
+
+__all__ = ["store_main", "build_store_parser"]
+
+
+def _human_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment store",
+        description="Inspect and maintain the content-addressed result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list cached results (key, task, size)")
+    p_ls.add_argument("--cache-dir", required=True, metavar="DIR",
+                      help="result store directory")
+    p_ls.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable output")
+
+    p_gc = sub.add_parser("gc", help="prune unreferenced blobs "
+                                     "(orphan NPZ, torn records, temp files)")
+    p_gc.add_argument("--cache-dir", required=True, metavar="DIR",
+                      help="result store directory")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be removed without deleting")
+    p_gc.add_argument("--min-age", type=float, default=3600.0,
+                      metavar="SECONDS",
+                      help="spare temp files/orphan blobs younger than this "
+                           "(a concurrent campaign may be mid-write; "
+                           "default 3600)")
+    return parser
+
+
+def _cmd_ls(args) -> int:
+    store = ResultStore(args.cache_dir)
+    entries = list(store.entries())
+    if args.as_json:
+        print(json.dumps(
+            [
+                {"key": e.key, "fn": e.fn, "seed": e.seed,
+                 "n_arrays": e.n_arrays, "json_bytes": e.json_bytes,
+                 "npz_bytes": e.npz_bytes}
+                for e in entries
+            ],
+            indent=2,
+        ))
+        return 0
+    if not entries:
+        print(f"[empty store at {store.root}]")
+        return 0
+    for e in entries:
+        arrays = f" +{e.n_arrays} array(s)" if e.n_arrays else ""
+        print(f"{e.key}  {_human_bytes(e.total_bytes):>10}  "
+              f"{e.fn or '(no spec)'}{arrays}")
+    total = sum(e.total_bytes for e in entries)
+    print(f"[{len(entries)} result(s), {_human_bytes(total)} in {store.root}]")
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    store = ResultStore(args.cache_dir)
+    stats = store.gc(dry_run=args.dry_run, min_age_s=args.min_age)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"[{verb} {stats.n_removed} file(s): {stats.n_orphan_npz} orphan "
+          f"NPZ, {stats.n_corrupt} torn record(s), {stats.n_tmp} temp "
+          f"file(s); {_human_bytes(stats.bytes_freed)} freed]")
+    return 0
+
+
+def store_main(argv: "list[str] | None" = None) -> int:
+    args = build_store_parser().parse_args(argv)
+    return {"ls": _cmd_ls, "gc": _cmd_gc}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(store_main())

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.runtime.seeding import derive_seed
 
-__all__ = ["RunSpec", "SweepSpec", "canonical", "spec_key"]
+__all__ = ["RunSpec", "SweepSpec", "canonical", "hashable", "spec_key"]
 
 
 def canonical(value: Any, path: str = "") -> Any:
@@ -74,6 +74,22 @@ def canonical(value: Any, path: str = "") -> Any:
         f"{where} of type {type(value).__name__} is not canonicalizable; "
         "pass plain scalars / lists / dicts (e.g. refer to objects by name)"
     )
+
+
+def hashable(value: Any) -> Any:
+    """Canonical plain-data value → an equality-preserving hashable form.
+
+    Task batchers key blocks by (subsets of) ``RunSpec.params``, whose
+    values may be nested lists/dicts; this collapses them to nested
+    tuples usable as dict keys.  The tag distinguishes mappings from
+    sequences so ``{}`` and ``[]`` (equal-looking after conversion) can
+    never be conflated.
+    """
+    if isinstance(value, Mapping):
+        return ("map", tuple((k, hashable(v)) for k, v in sorted(value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(hashable(v) for v in value))
+    return value
 
 
 def _canonical_json(value: Any) -> str:

@@ -17,12 +17,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
 
 import numpy as np
 
-__all__ = ["ResultStore"]
+__all__ = ["GcStats", "ResultStore", "StoreEntry"]
 
 _FORMAT_VERSION = 1
 _ARRAYS_MARKER = "__arrays__"
@@ -41,6 +43,41 @@ def _split_arrays(value: Mapping) -> "tuple[dict, dict]":
         else:
             plain[name] = item
     return plain, arrays
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata of one stored result (no array payloads loaded).
+
+    ``fn`` and ``seed`` come from the provenance ``spec`` the executor
+    records next to each value; they are ``None`` for records written
+    without one.
+    """
+
+    key: str
+    json_bytes: int
+    npz_bytes: int
+    fn: "str | None"
+    seed: "int | None"
+    n_arrays: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.json_bytes + self.npz_bytes
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """What one :meth:`ResultStore.gc` pass removed."""
+
+    n_orphan_npz: int  # .npz side-cars whose JSON record is gone
+    n_corrupt: int  # unreadable/torn JSON records (and their side-cars)
+    n_tmp: int  # temp files abandoned by interrupted writes
+    bytes_freed: int
+
+    @property
+    def n_removed(self) -> int:
+        return self.n_orphan_npz + self.n_corrupt + self.n_tmp
 
 
 class ResultStore:
@@ -162,3 +199,92 @@ class ResultStore:
             self._npz_path(key).unlink(missing_ok=True)
             n += 1
         return n
+
+    def entries(self) -> "Iterator[StoreEntry]":
+        """Metadata of every readable record (unreadable ones are skipped;
+        :meth:`gc` is the tool that deals with those)."""
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                record = json.loads(path.read_text())
+                json_bytes = path.stat().st_size
+            except (OSError, json.JSONDecodeError):
+                continue
+            npz = self._npz_path(key)
+            try:
+                npz_bytes = npz.stat().st_size
+            except OSError:
+                npz_bytes = 0
+            spec = record.get("spec") or {}
+            yield StoreEntry(
+                key=key,
+                json_bytes=json_bytes,
+                npz_bytes=npz_bytes,
+                fn=spec.get("fn"),
+                seed=spec.get("seed"),
+                n_arrays=len(record.get(_ARRAYS_MARKER, [])),
+            )
+
+    def gc(self, dry_run: bool = False,
+           min_age_s: float = 3600.0) -> GcStats:
+        """Prune unreferenced blobs; returns what was (or would be) removed.
+
+        Three kinds of garbage accumulate in a long-lived cache directory
+        and are never read by :meth:`get`:
+
+        - ``.npz`` side-cars whose JSON record was deleted or lost
+          (the record is the only reference to the blob);
+        - JSON records that no longer parse (torn by a crash predating
+          the atomic-write path, or hand-edited) — these already count
+          as misses, so dropping them (and their side-cars) only frees
+          space;
+        - temp files abandoned by interrupted writes.
+
+        Temp files and orphaned side-cars younger than ``min_age_s`` are
+        left alone: a concurrent campaign process may be mid-:meth:`put`
+        (its NPZ lands before its JSON record, and ``_atomic_write``'s
+        temp file before either), and unlinking its in-flight files would
+        lose the result it is about to reference.
+
+        Valid records are never touched; with ``dry_run`` nothing is
+        deleted and the stats report what a real pass would remove.
+        """
+        n_orphan = n_corrupt = n_tmp = freed = 0
+        if not self.root.exists():
+            return GcStats(0, 0, 0, 0)
+
+        now = time.time()
+
+        def remove(path: Path) -> int:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                return 0
+            if not dry_run:
+                path.unlink(missing_ok=True)
+            return size
+
+        def old_enough(path: Path) -> bool:
+            try:
+                return now - path.stat().st_mtime >= min_age_s
+            except OSError:
+                return False  # already gone (e.g. the writer finished)
+
+        for path in sorted(self.root.glob("??/.*")):
+            if not old_enough(path):
+                continue
+            n_tmp += 1
+            freed += remove(path)
+        for path in sorted(self.root.glob("??/*.json")):
+            try:
+                json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                n_corrupt += 1
+                freed += remove(path)
+                freed += remove(path.with_suffix(".npz"))
+        for path in sorted(self.root.glob("??/*.npz")):
+            if not path.with_suffix(".json").exists() and old_enough(path):
+                n_orphan += 1
+                freed += remove(path)
+        return GcStats(n_orphan_npz=n_orphan, n_corrupt=n_corrupt,
+                       n_tmp=n_tmp, bytes_freed=freed)

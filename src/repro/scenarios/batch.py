@@ -28,24 +28,11 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.runtime.executor import TaskBatcher
-from repro.runtime.spec import RunSpec
+from repro.runtime.spec import RunSpec, hashable
 
 __all__ = ["SCENARIO_TASK_FN", "ScenarioTaskBatcher"]
 
 SCENARIO_TASK_FN = "repro.scenarios.tasks:scenario_task"
-
-
-def _hashable(value):
-    """Canonical-plain-data value → an equality-preserving hashable form.
-
-    The tag distinguishes mappings from sequences so ``{}`` and ``[]``
-    (equal-looking after conversion) can never be conflated.
-    """
-    if isinstance(value, Mapping):
-        return ("map", tuple((k, _hashable(v)) for k, v in sorted(value.items())))
-    if isinstance(value, (list, tuple)):
-        return ("seq", tuple(_hashable(v) for v in value))
-    return value
 
 
 @dataclass(frozen=True)
@@ -91,7 +78,7 @@ class ScenarioTaskBatcher(TaskBatcher):
         """
         if spec.fn != SCENARIO_TASK_FN or spec.seed is None:
             return None
-        return tuple((k, _hashable(v)) for k, v in spec.params
+        return tuple((k, hashable(v)) for k, v in spec.params
                      if k != "replicate")
 
     def execute(self, specs: "Sequence[RunSpec]") -> "list[Mapping]":

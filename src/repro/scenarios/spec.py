@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.fields import StrictFields
 from repro.scenarios.errors import ScenarioError
 
 __all__ = [
@@ -47,71 +48,17 @@ PROTOCOLS = ("auto", "eager", "rendezvous")
 DOMAINS = ("intra_socket", "inter_socket", "inter_node")
 
 
-class _Fields:
-    """Strict reader over one section's mapping: typed takes + leftovers check."""
+class _Fields(StrictFields):
+    """Scenario-flavored strict reader (errors carry the scenario name)."""
 
     def __init__(self, data: Any, path: str, scenario: str = "") -> None:
-        self.path = path
         self.scenario = scenario
-        if data is None:
-            data = {}
-        if not isinstance(data, Mapping):
-            raise ScenarioError(
-                f"expected a table/mapping, got {type(data).__name__}",
-                path=path, scenario=scenario,
-            )
-        self.data = dict(data)
-
-    def _sub(self, key: str) -> str:
-        return f"{self.path}.{key}" if self.path else key
-
-    def take(self, key: str, kind: str, default: Any = None,
-             required: bool = False) -> Any:
-        if key not in self.data:
-            if required:
-                raise ScenarioError(
-                    f"required field is missing ({kind})",
-                    path=self._sub(key), scenario=self.scenario,
-                )
-            return default
-        value = self.data.pop(key)
-        return self._coerce(value, kind, self._sub(key))
-
-    def _coerce(self, value: Any, kind: str, path: str) -> Any:
-        ok: bool
-        if kind == "int":
-            ok = isinstance(value, int) and not isinstance(value, bool)
-        elif kind == "float":
-            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
-            if ok:
-                value = float(value)
-        elif kind == "bool":
-            ok = isinstance(value, bool)
-        elif kind == "str":
-            ok = isinstance(value, str)
-        elif kind == "list":
-            ok = isinstance(value, (list, tuple))
-            if ok:
-                value = list(value)
-        elif kind == "table":
-            ok = isinstance(value, Mapping)
-        else:  # pragma: no cover - internal misuse
-            raise ValueError(f"unknown field kind {kind!r}")
-        if not ok:
-            raise ScenarioError(
-                f"expected {kind}, got {type(value).__name__} ({value!r})",
-                path=path, scenario=self.scenario,
-            )
-        return value
-
-    def finish(self) -> None:
-        if self.data:
-            keys = ", ".join(sorted(map(repr, self.data)))
-            where = self.path or "scenario"
-            raise ScenarioError(
-                f"unknown key(s) {keys} in '{where}' section",
-                path=self.path, scenario=self.scenario,
-            )
+        super().__init__(
+            data, path,
+            make_error=lambda message, p: ScenarioError(
+                message, path=p, scenario=scenario),
+            root_label="scenario",
+        )
 
 
 def _check_choice(value: str, choices: Any, path: str, scenario: str) -> str:

@@ -24,7 +24,8 @@ from repro.scenarios.errors import ScenarioError
 from repro.scenarios.spec import ScenarioSpec, apply_overrides
 from repro.viz.tables import format_table
 
-__all__ = ["SweepPointSummary", "ScenarioSweepResult", "scenario_sweep_spec",
+__all__ = ["GridExpansion", "SweepPointSummary", "ScenarioSweepResult",
+           "expand_scenario_grid", "scenario_sweep_spec",
            "run_scenario_sweep"]
 
 
@@ -38,31 +39,45 @@ def _grid_points(spec: ScenarioSpec) -> "list[dict]":
     return [dict(zip(names, combo)) for combo in itertools.product(*grids)]
 
 
-def scenario_sweep_spec(
-    spec: ScenarioSpec,
-    base_seed: "int | None" = None,
-    engine: str = "auto",
-) -> SweepSpec:
-    """Expand a scenario into a campaign-runtime sweep declaration.
+@dataclass(frozen=True)
+class GridExpansion:
+    """A scenario's validated sweep grid, ready for task expansion.
+
+    The single definition of "what a scenario grid is" — shared by the
+    scenario sweep path and the report subsystem (which dispatches the
+    same grid through a different task function), so their engine
+    resolution and point order can never drift apart.
+    """
+
+    document: dict  # sweep-less scenario document (ScenarioSpec.to_dict)
+    points: "tuple[dict, ...]"  # per-point {dotted.path: value} overrides
+    compiled: tuple  # CompiledScenario per point, same order
+    engine: str  # concrete resolved engine ("lockstep" | "dag")
+    replicates: int
+
+
+def expand_scenario_grid(spec: ScenarioSpec, engine: str = "auto") -> GridExpansion:
+    """Validate and expand a scenario's grid (compiling every point).
 
     Every grid point is validated up front (overrides applied, document
-    re-parsed, base point compiled), so a sweep whose axis values break
-    the spec fails here with the offending path — not inside a worker
+    re-parsed, point compiled), so a sweep whose axis values break the
+    spec fails here with the offending path — not inside a worker
     process halfway through the campaign.
 
     ``engine="auto"`` is resolved to the *concrete* engine the compiler
-    chooses before it enters the task parameters, so the content hash
+    chooses before it enters any task parameters, so the content hash
     that addresses the result store names the engine whose semantics
     produced the result — a dispatch-rule change can never silently serve
     results computed under the old rule.  A grid whose points resolve to
     *different* engines is rejected (force one explicitly): the literal
     ``"auto"`` must never reach a cache key.
 
-    Scenarios *without* a ``sweep`` block expand to a single-task grid,
+    Scenarios *without* a ``sweep`` block expand to a single-point grid,
     which keeps caching and sharding uniform for the CLI.
     """
     document = spec.without_sweep().to_dict()
     points = _grid_points(spec)
+    compiled_points = []
     chosen: "set[str]" = set()
     for point in points:
         candidate = apply_overrides(document, point) if point else document
@@ -74,6 +89,7 @@ def scenario_sweep_spec(
                 f"sweep point {point!r} does not compile: {exc.message}",
                 path=exc.path, scenario=spec.name,
             ) from exc
+        compiled_points.append(compiled)
         chosen.add(compiled.engine)
     resolved_engine = engine
     if engine == "auto":
@@ -88,13 +104,32 @@ def scenario_sweep_spec(
                 path="sweep", scenario=spec.name,
             )
         resolved_engine = chosen.pop()
-    replicates = spec.sweep.replicates if spec.sweep is not None else 1
+    return GridExpansion(
+        document=document,
+        points=tuple(points),
+        compiled=tuple(compiled_points),
+        engine=resolved_engine,
+        replicates=spec.sweep.replicates if spec.sweep is not None else 1,
+    )
+
+
+def scenario_sweep_spec(
+    spec: ScenarioSpec,
+    base_seed: "int | None" = None,
+    engine: str = "auto",
+) -> SweepSpec:
+    """Expand a scenario into a campaign-runtime sweep declaration.
+
+    See :func:`expand_scenario_grid` for the validation and engine
+    resolution this inherits.
+    """
+    grid = expand_scenario_grid(spec, engine=engine)
     return SweepSpec(
         fn="repro.scenarios.tasks:scenario_task",
-        base={"scenario": document, "engine": resolved_engine},
+        base={"scenario": grid.document, "engine": grid.engine},
         axes=(
-            ("overrides", tuple(points)),
-            ("replicate", tuple(range(replicates))),
+            ("overrides", grid.points),
+            ("replicate", tuple(range(grid.replicates))),
         ),
         base_seed=spec.seed if base_seed is None else base_seed,
     )

@@ -88,3 +88,50 @@ class TestOverlapEfficiency:
         )
         eff = overlap_efficiency(simulate_saturation(cfg))
         assert eff > 0.02
+
+
+class TestEdgeCases:
+    """Degenerate inputs the report kernels must be able to rely on."""
+
+    def empty_timing(self, n_ranks=4):
+        z = np.zeros((n_ranks, 0))
+        return RunTiming(exec_end=z, completion=z.copy(), idle=z.copy())
+
+    def test_empty_trace_skew_spread(self):
+        assert skew_spread(self.empty_timing()).shape == (0,)
+
+    def test_empty_trace_onset_without_t_exec(self):
+        with pytest.raises(ValueError, match="phase length"):
+            desync_onset(self.empty_timing())
+
+    def test_empty_trace_onset_with_t_exec(self):
+        t = self.empty_timing()
+        t.meta["t_exec"] = T
+        assert desync_onset(t) is None
+
+    def test_empty_trace_overlap_rejected(self):
+        with pytest.raises(ValueError, match="no time budget"):
+            overlap_efficiency(self.empty_timing())
+
+    def test_single_rank_run(self):
+        # One rank, no waits: completion marches by exactly T per step.
+        completion = np.arange(1.0, 6.0)[None, :] * T
+        single = RunTiming(exec_end=completion.copy(),
+                           completion=completion,
+                           idle=np.zeros_like(completion),
+                           meta={"t_exec": T})
+        np.testing.assert_allclose(skew_spread(single), 0.0, atol=0)
+        assert desync_onset(single) is None
+        # The run *is* its own serial budget: nothing to overlap.
+        assert overlap_efficiency(single) == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_signal_never_desyncs(self):
+        completion = np.tile(np.arange(1.0, 6.0) * T, (4, 1))
+        t = RunTiming(exec_end=completion - T / 2, completion=completion,
+                      idle=np.zeros_like(completion), meta={"t_exec": T})
+        np.testing.assert_allclose(skew_spread(t), 0.0, atol=0)
+        assert desync_onset(t) is None
+
+    def test_onset_fraction_must_be_positive(self):
+        with pytest.raises(ValueError, match="fraction"):
+            desync_onset(quiet_run(), fraction=0.0)

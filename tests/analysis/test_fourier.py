@@ -61,3 +61,55 @@ class TestSkewSpectrum:
         spec = skew_spectrum(t, 0)
         assert spec.power[1:].sum() == pytest.approx(0.0, abs=1e-20)
         assert spec.mode_fraction(1) == 0.0
+
+
+class TestEdgeCases:
+    """Degenerate inputs the report kernels must be able to rely on."""
+
+    def test_empty_trace_rejected(self):
+        t = synthetic_timing(lambda r: np.zeros_like(r, dtype=float),
+                             n_steps=4)
+        empty = RunTiming(exec_end=t.exec_end[:, :0],
+                          completion=t.completion[:, :0],
+                          idle=t.idle[:, :0])
+        with pytest.raises(IndexError, match="out of range"):
+            skew_profile(empty, 0)
+        with pytest.raises(IndexError, match="out of range"):
+            skew_spectrum(empty, 0)
+
+    def test_step_out_of_range(self):
+        t = synthetic_timing(lambda r: np.zeros_like(r, dtype=float))
+        with pytest.raises(IndexError, match="out of range"):
+            skew_profile(t, t.n_steps)
+        with pytest.raises(IndexError, match="out of range"):
+            skew_profile(t, -1)
+
+    def test_single_rank_has_no_nonzero_mode(self):
+        t = synthetic_timing(lambda r: np.zeros_like(r, dtype=float),
+                             n_ranks=1)
+        spec = skew_spectrum(t, 0)
+        assert spec.n_ranks == 1
+        with pytest.raises(ValueError, match="no nonzero wavenumber"):
+            spec.dominant_mode()
+        with pytest.raises(ValueError, match="no nonzero wavenumber"):
+            spec.dominant_wavelength()
+
+    def test_two_ranks_single_mode(self):
+        t = synthetic_timing(lambda r: r * 1e-3, n_ranks=2)
+        spec = skew_spectrum(t, 0)
+        assert spec.dominant_mode() == 1
+        assert spec.dominant_wavelength() == pytest.approx(2.0)
+
+    def test_constant_signal_mode_fraction_zero(self):
+        # A perfectly synchronized (constant-completion) step: no power
+        # anywhere; the dominant mode defaults to 1 with zero fraction.
+        t = synthetic_timing(lambda r: np.full_like(r, 5e-3, dtype=float))
+        spec = skew_spectrum(t, 0)
+        assert spec.dominant_mode() == 1
+        assert spec.mode_fraction(1) == 0.0
+        assert spec.power[1:].sum() == pytest.approx(0.0, abs=1e-20)
+
+    def test_profile_with_nonzero_mean_is_centered(self):
+        t = synthetic_timing(lambda r: 7e-3 + np.sin(2 * np.pi * r / 64) * 1e-3)
+        assert skew_profile(t, 0).mean() == pytest.approx(0.0, abs=1e-12)
+        assert dominant_wavelength(t, 0) == pytest.approx(64.0)

@@ -63,7 +63,11 @@ def test_sample_mean_tracks_declared_mean(model):
     n = 120_000
     s = model.sample(np.random.default_rng(0), (n,))
     if model.mean() == 0.0:
-        assert s.max() == 0.0
+        # A declared zero mean is either a genuinely silent model (all
+        # samples exactly 0) or a range so narrow that the mean
+        # *underflows* to 0.0 (e.g. uniform on [0, 5e-324)) — samples
+        # then sit in the subnormal basement but cannot exceed it.
+        assert s.max() <= np.finfo(float).tiny
         return
     if np.count_nonzero(s) < 30:
         # Ultra-rare-event models (e.g. a spike probability of 1e-6) give

@@ -1,0 +1,75 @@
+"""Tests for the ``report`` CLI group (and its main-CLI wiring)."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.reports.cli import report_main
+
+
+class TestList:
+    def test_lists_bundled_reports(self, capsys):
+        assert report_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7_speed", "fig8_decay", "campaign_rate_response",
+                     "cross_scenario_waves", "hybrid_desync_profile"):
+            assert name in out
+        assert "registered metric kernels" in out
+
+    def test_json_lists_kernels(self, capsys):
+        assert report_main(["list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {r["name"] for r in doc["reports"]} >= {"fig7_speed"}
+        kernels = {k["name"]: k for k in doc["kernels"]}
+        assert "beta" in kernels["decay_rate"]["fields"]
+
+
+class TestValidate:
+    def test_all_bundled_reports_valid(self, capsys):
+        assert report_main(["validate"]) == 0
+        assert "report(s) valid" in capsys.readouterr().out
+
+    def test_invalid_file_fails_with_path(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('scenario = "fig4_single_delay"\n'
+                       '[[metrics]]\nname = "nope"\n')
+        assert report_main(["validate", str(bad)]) == 1
+        assert "metrics[0].name" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_prints_table(self, capsys):
+        assert report_main(["run", "cross_scenario_waves"]) == 0
+        out = capsys.readouterr().out
+        assert "=== report cross_scenario_waves" in out
+        assert "fig4_single_delay" in out
+
+    def test_run_with_store_and_artifacts(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out_dir = tmp_path / "out"
+        argv = ["run", "campaign_rate_response", "--cache-dir", cache,
+                "--out", str(out_dir)]
+        assert report_main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 from store" in cold
+        assert (out_dir / "campaign_rate_response.csv").exists()
+        assert (out_dir / "viz" / "campaign_rate_response.txt").exists()
+
+        assert report_main(argv[:-2]) == 0  # warm, no artifacts
+        warm = capsys.readouterr().out
+        assert "12 from store, 0 executed" in warm
+
+    def test_unknown_report_exits_2(self, capsys):
+        assert report_main(["run", "nope"]) == 2
+        assert "report error" in capsys.readouterr().err
+
+
+class TestMainWiring:
+    def test_main_dispatches_report(self, capsys):
+        assert repro_main(["report", "list"]) == 0
+        assert "fig7_speed" in capsys.readouterr().out
+
+    def test_report_must_come_first(self, capsys):
+        assert repro_main(["--seed", "3", "report"]) == 2
+        assert "must come first" in capsys.readouterr().err

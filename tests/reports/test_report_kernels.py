@@ -1,0 +1,239 @@
+"""Kernel parity: every vectorized metric agrees with its scalar original.
+
+The batched kernels must reproduce, draw for draw, what the scalar
+:mod:`repro.core` / :mod:`repro.analysis` functions compute on each
+slice — that is the contract that lets the experiment drivers and the
+report pipeline share one implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.desync import desync_onset, overlap_efficiency, skew_spread
+from repro.analysis.fourier import skew_spectrum
+from repro.core.decay import measure_decay
+from repro.core.idle_wave import default_threshold, wave_front
+from repro.core.speed import measure_speed
+from repro.reports import BatchedTiming, MetricContext, get_kernel, kernel_names
+from repro.reports.errors import ReportError
+from repro.reports.kernels import (
+    batched_default_threshold,
+    batched_wave_front,
+    register_kernel,
+)
+from repro.scenarios import compile_scenario, load_bundled_scenario
+from repro.scenarios.runner import run_scenario
+
+N_DRAWS = 6
+
+
+def build_batch(name="fig8_decay_rate", seeds=range(N_DRAWS)):
+    spec = load_bundled_scenario(name).without_sweep()
+    compiled = compile_scenario(spec)
+    runs = [run_scenario(compiled, seed=s) for s in seeds]
+    batch = BatchedTiming.from_timings([r.timing for r in runs])
+    return compiled, batch
+
+
+@pytest.fixture(scope="module")
+def noisy():
+    return build_batch("fig8_decay_rate")
+
+
+@pytest.fixture(scope="module")
+def silent():
+    return build_batch("fig4_single_delay", seeds=range(2))
+
+
+def assert_field(arr, expected, name):
+    np.testing.assert_allclose(arr, expected, rtol=1e-9, atol=0,
+                               equal_nan=True, err_msg=name)
+
+
+class TestThresholdAndFront:
+    def test_threshold_matches_scalar(self, noisy):
+        _, batch = noisy
+        thr = batched_default_threshold(batch)
+        for b in range(batch.n_batch):
+            assert thr[b] == pytest.approx(
+                default_threshold(batch[b]), rel=1e-12)
+
+    def test_front_matches_scalar_walk(self, noisy):
+        compiled, batch = noisy
+        source = compiled.cfg.delays[0].rank
+        front = batched_wave_front(batch, source, periodic=True)
+        for b in range(batch.n_batch):
+            scalar = wave_front(batch[b], source, periodic=True)
+            n = front.n_hops[b]
+            assert n == len(scalar)
+            np.testing.assert_array_equal(
+                front.arrival_steps[b, :n], scalar.arrival_steps)
+            np.testing.assert_allclose(
+                front.arrival_times[b, :n], scalar.arrival_times, rtol=1e-12)
+            np.testing.assert_allclose(
+                front.amplitudes[b, :n], scalar.amplitudes, rtol=1e-12)
+
+    def test_front_is_cached_per_batch(self, noisy):
+        compiled, batch = noisy
+        source = compiled.cfg.delays[0].rank
+        a = batched_wave_front(batch, source, periodic=True)
+        b = batched_wave_front(batch, source, periodic=True)
+        assert a is b
+
+    def test_bad_direction_rejected(self, noisy):
+        _, batch = noisy
+        with pytest.raises(ValueError, match="direction"):
+            batched_wave_front(batch, 0, direction=2)
+
+    def test_bad_source_rejected(self, noisy):
+        _, batch = noisy
+        with pytest.raises(IndexError, match="source rank"):
+            batched_wave_front(batch, batch.n_ranks)
+
+
+class TestKernelParity:
+    def ctx(self, compiled):
+        return MetricContext(compiled=compiled)
+
+    def test_runtime(self, noisy):
+        compiled, batch = noisy
+        out = get_kernel("runtime").compute(batch, self.ctx(compiled))
+        for b in range(batch.n_batch):
+            timing = batch[b]
+            assert_field(out["total_runtime"][b], timing.total_runtime(),
+                         "total_runtime")
+            assert_field(out["total_idle"][b], timing.total_idle(),
+                         "total_idle")
+            assert_field(out["mean_idle_per_rank"][b],
+                         float(np.mean(timing.idle_by_rank())),
+                         "mean_idle_per_rank")
+
+    def test_decay_rate(self, noisy):
+        compiled, batch = noisy
+        source = compiled.cfg.delays[0].rank
+        out = get_kernel("decay_rate").compute(batch, self.ctx(compiled))
+        for b in range(batch.n_batch):
+            meas = measure_decay(batch[b], source, direction=+1, periodic=True)
+            assert_field(out["beta"][b], meas.beta, "beta")
+            assert_field(out["slope_beta"][b], meas.slope_beta, "slope_beta")
+            assert_field(out["initial_amplitude"][b], meas.initial_amplitude,
+                         "initial_amplitude")
+            assert_field(out["survival_hops"][b], meas.survival_hops,
+                         "survival_hops")
+
+    def test_wave_speed(self, silent):
+        compiled, batch = silent
+        source = compiled.cfg.delays[0].rank
+        out = get_kernel("wave_speed").compute(batch, self.ctx(compiled))
+        for b in range(batch.n_batch):
+            meas = measure_speed(batch[b], source, direction=+1,
+                                 periodic=False)
+            assert_field(out["measured_speed"][b], meas.speed, "speed")
+        assert np.all(out["predicted_speed"] > 0)
+
+    def test_desync(self, noisy):
+        compiled, batch = noisy
+        out = get_kernel("desync").compute(batch, self.ctx(compiled))
+        for b in range(batch.n_batch):
+            timing = batch[b]
+            spread = skew_spread(timing)
+            assert_field(out["final_skew"][b], spread[-1], "final_skew")
+            assert_field(out["max_skew"][b], spread.max(), "max_skew")
+            assert_field(out["mean_skew"][b], spread.mean(), "mean_skew")
+            onset = desync_onset(timing)
+            expected = float("nan") if onset is None else float(onset)
+            assert_field(out["desync_onset_step"][b], expected, "onset")
+            assert_field(out["overlap_efficiency"][b],
+                         overlap_efficiency(timing), "overlap")
+
+    def test_idle_histogram(self, noisy):
+        _, batch = noisy
+        compiled, _ = noisy
+        out = get_kernel("idle_histogram").compute(batch, self.ctx(compiled))
+        for b in range(batch.n_batch):
+            idle = batch[b].idle
+            positive = idle[idle > 0]
+            assert_field(out["n_idle_periods"][b], positive.size, "count")
+            assert_field(out["mean_idle"][b],
+                         positive.mean() if positive.size else 0.0, "mean")
+            assert_field(out["max_idle"][b],
+                         positive.max() if positive.size else 0.0, "max")
+            if positive.size:
+                assert_field(out["p95_idle"][b],
+                             np.percentile(positive, 95), "p95")
+
+    def test_fourier(self, noisy):
+        compiled, batch = noisy
+        out = get_kernel("fourier").compute(batch, self.ctx(compiled))
+        for b in range(batch.n_batch):
+            spectrum = skew_spectrum(batch[b], batch.n_steps - 1)
+            assert_field(out["dominant_mode"][b], spectrum.dominant_mode(),
+                         "mode")
+            assert_field(out["dominant_wavelength"][b],
+                         spectrum.dominant_wavelength(), "wavelength")
+            assert_field(out["mode_fraction"][b],
+                         spectrum.mode_fraction(spectrum.dominant_mode()),
+                         "fraction")
+
+    def test_fourier_step_param(self, noisy):
+        compiled, batch = noisy
+        out = get_kernel("fourier").compute(batch, self.ctx(compiled), step=3)
+        spectrum = skew_spectrum(batch[0], 3)
+        assert_field(out["dominant_mode"][0], spectrum.dominant_mode(), "mode")
+
+    def test_fourier_step_out_of_range(self, noisy):
+        compiled, batch = noisy
+        with pytest.raises(IndexError, match="out of range"):
+            get_kernel("fourier").compute(batch, self.ctx(compiled),
+                                          step=batch.n_steps)
+
+
+class TestEdgeCases:
+    def test_unmeasurable_wave_is_nan_not_error(self):
+        # A quiet run: no delay wave anywhere -> speed/decay NaN per draw.
+        compiled, batch = build_batch("fig4_single_delay", seeds=range(2))
+        quiet = BatchedTiming(
+            exec_end=batch.exec_end.copy(),
+            completion=batch.completion.copy(),
+            idle=np.zeros_like(batch.idle),
+            meta=dict(batch.meta),
+        )
+        ctx = MetricContext(compiled=compiled)
+        speed = get_kernel("wave_speed").compute(quiet, ctx)
+        assert np.all(np.isnan(speed["measured_speed"]))
+        decay = get_kernel("decay_rate").compute(quiet, ctx)
+        assert np.all(np.isnan(decay["beta"]))
+
+    def test_histogram_without_idle(self):
+        compiled, batch = build_batch("fig4_single_delay", seeds=range(2))
+        quiet = BatchedTiming(
+            exec_end=batch.exec_end.copy(),
+            completion=batch.completion.copy(),
+            idle=np.zeros_like(batch.idle),
+            meta=dict(batch.meta),
+        )
+        out = get_kernel("idle_histogram").compute(
+            quiet, MetricContext(compiled=compiled))
+        assert np.all(out["n_idle_periods"] == 0)
+        assert np.all(out["mean_idle"] == 0)
+        assert np.all(np.isnan(out["p95_idle"]))
+
+    def test_needs_delay_context(self):
+        spec = load_bundled_scenario("campaign_rate_sweep").without_sweep()
+        ctx = MetricContext(compiled=compile_scenario(spec))
+        with pytest.raises(ReportError, match="declares none"):
+            ctx.source
+
+
+class TestRegistry:
+    def test_known_kernels_registered(self):
+        assert {"runtime", "wave_speed", "decay_rate", "desync",
+                "idle_histogram", "fourier"} <= set(kernel_names())
+
+    def test_unknown_kernel_names_alternatives(self):
+        with pytest.raises(ReportError, match="registered kernels"):
+            get_kernel("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("runtime", fields=("x",))(lambda b, c: {"x": []})

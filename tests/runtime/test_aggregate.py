@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.runtime import (
+    AggregationError,
     SweepSpec,
     collect,
     group_by_param,
@@ -30,8 +31,12 @@ class TestCollect:
         assert seeds.shape == (2,)
 
     def test_missing_field(self):
-        with pytest.raises(KeyError, match="'z' missing"):
+        with pytest.raises(AggregationError, match="'z' missing"):
             collect(VALUES, "z")
+
+    def test_empty_campaign_typed_error(self):
+        with pytest.raises(AggregationError, match="no successful runs"):
+            collect([], "x")
 
 
 class TestSummarizeReduce:
@@ -44,8 +49,12 @@ class TestSummarizeReduce:
         assert s["p95"] == pytest.approx(3.85)
 
     def test_summarize_empty_rejected(self):
-        with pytest.raises(ValueError, match="empty"):
+        with pytest.raises(AggregationError, match="empty"):
             summarize([])
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(AggregationError, match="empty campaign"):
+            reduce_runs([])
 
     def test_reduce_runs_default_fields(self):
         reduced = reduce_runs(VALUES)
@@ -79,7 +88,7 @@ class TestGroupByParam:
         assert all(len(v["draws"]) == 1 for v in grouped[1])
 
     def test_unknown_param_rejected(self):
-        with pytest.raises(KeyError, match="no parameter 'rate'"):
+        with pytest.raises(AggregationError, match="no parameter 'rate'"):
             group_by_param(self.campaign(), "rate")
 
     def test_failed_tasks_excluded(self):
@@ -93,3 +102,16 @@ class TestGroupByParam:
         ]
         grouped = group_by_param(run_campaign(specs, jobs=1), "replicate")
         assert list(grouped) == [1]
+
+    def test_all_failed_typed_error(self):
+        from repro.runtime import RunSpec
+
+        specs = [
+            RunSpec(fn="repro.runtime.tasks:failing_task",
+                    params={"message": "x", "replicate": i}, seed=i, index=i)
+            for i in range(2)
+        ]
+        campaign = run_campaign(specs, jobs=1)
+        with pytest.raises(AggregationError,
+                           match=r"2/2 task\(s\) failed"):
+            group_by_param(campaign, "replicate")

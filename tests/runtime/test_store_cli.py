@@ -1,0 +1,126 @@
+"""Tests for store maintenance: ``ResultStore.entries``/``gc`` + the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main as repro_main
+from repro.runtime.cli import store_main
+from repro.runtime.store import ResultStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    store.put("aa" * 16, {"x": 1.0}, spec={"fn": "m:f", "seed": 7})
+    store.put("bb" * 16, {"arr": np.arange(4.0)})
+    return store
+
+
+class TestEntries:
+    def test_metadata(self, store):
+        entries = {e.key: e for e in store.entries()}
+        assert set(entries) == {"aa" * 16, "bb" * 16}
+        plain = entries["aa" * 16]
+        assert plain.fn == "m:f" and plain.seed == 7
+        assert plain.npz_bytes == 0 and plain.json_bytes > 0
+        arrays = entries["bb" * 16]
+        assert arrays.n_arrays == 1 and arrays.npz_bytes > 0
+        assert arrays.total_bytes == arrays.json_bytes + arrays.npz_bytes
+
+    def test_empty_store(self, tmp_path):
+        assert list(ResultStore(tmp_path / "nope").entries()) == []
+
+
+class TestGc:
+    def test_nothing_to_do(self, store):
+        stats = store.gc()
+        assert stats.n_removed == 0 and stats.bytes_freed == 0
+        assert len(store) == 2
+
+    def test_orphan_npz_removed(self, store):
+        key = "bb" * 16
+        store.path_for(key).unlink()  # leaves the NPZ orphaned
+        stats = store.gc(min_age_s=0)
+        assert stats.n_orphan_npz == 1 and stats.bytes_freed > 0
+        assert not store._npz_path(key).exists()
+        assert store.get("aa" * 16) == {"x": 1.0}  # valid record untouched
+
+    def test_torn_record_removed_with_sidecar(self, store):
+        key = "bb" * 16
+        store.path_for(key).write_text("{not json")
+        stats = store.gc()
+        assert stats.n_corrupt == 1
+        assert not store.path_for(key).exists()
+        assert not store._npz_path(key).exists()
+
+    def test_stale_tmp_files_removed(self, store):
+        tmp = store.root / "aa" / ".leftover.json.x1y2"
+        tmp.write_text("partial")
+        stats = store.gc(min_age_s=0)
+        assert stats.n_tmp == 1
+        assert not tmp.exists()
+
+    def test_fresh_tmp_files_survive(self, store):
+        # A concurrent writer's live temp file must not be unlinked.
+        tmp = store.root / "aa" / ".inflight.json.x1y2"
+        tmp.write_text("partial")
+        stats = store.gc()
+        assert stats.n_tmp == 0
+        assert tmp.exists()
+
+    def test_fresh_orphan_npz_survives(self, store):
+        # A concurrent put() writes the NPZ before its JSON record; a gc
+        # racing that window must not unlink the side-car.
+        key = "bb" * 16
+        store.path_for(key).unlink()
+        stats = store.gc()
+        assert stats.n_orphan_npz == 0
+        assert store._npz_path(key).exists()
+
+    def test_dry_run_deletes_nothing(self, store):
+        key = "bb" * 16
+        store.path_for(key).unlink()
+        stats = store.gc(dry_run=True, min_age_s=0)
+        assert stats.n_orphan_npz == 1
+        assert store._npz_path(key).exists()
+
+    def test_missing_root(self, tmp_path):
+        stats = ResultStore(tmp_path / "nope").gc()
+        assert stats.n_removed == 0
+
+
+class TestCli:
+    def test_ls(self, store, capsys):
+        assert store_main(["ls", "--cache-dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "m:f" in out and "2 result(s)" in out
+
+    def test_ls_json(self, store, capsys):
+        assert store_main(["ls", "--cache-dir", str(store.root),
+                           "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {e["key"] for e in doc} == {"aa" * 16, "bb" * 16}
+
+    def test_ls_empty(self, tmp_path, capsys):
+        assert store_main(["ls", "--cache-dir", str(tmp_path / "e")]) == 0
+        assert "empty store" in capsys.readouterr().out
+
+    def test_gc_reports_counts(self, store, capsys):
+        store.path_for("bb" * 16).unlink()
+        assert store_main(["gc", "--cache-dir", str(store.root),
+                           "--min-age", "0"]) == 0
+        assert "removed 1 file(s): 1 orphan NPZ" in capsys.readouterr().out
+
+    def test_gc_dry_run(self, store, capsys):
+        store.path_for("bb" * 16).unlink()
+        assert store_main(["gc", "--cache-dir", str(store.root),
+                           "--dry-run", "--min-age", "0"]) == 0
+        assert "would remove 1" in capsys.readouterr().out
+        assert store._npz_path("bb" * 16).exists()
+
+    def test_main_wiring(self, store, capsys):
+        assert repro_main(["store", "ls", "--cache-dir",
+                           str(store.root)]) == 0
+        assert "2 result(s)" in capsys.readouterr().out
