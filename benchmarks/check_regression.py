@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""CI benchmark regression guard: fresh ``BENCH_*.json`` vs baselines.
+
+Every benchmark module records its headline numbers through the
+``bench_record`` conftest hook into ``BENCH_<name>.json``.  This script
+compares the asserted **ratio** fields (``speedup`` — machine-relative,
+hence comparable across hosts, unlike absolute timings) of freshly
+emitted files against the committed baselines under
+``benchmarks/baselines/`` and fails when any ratio regressed by more
+than the threshold (default 30%)::
+
+    python benchmarks/check_regression.py --fresh bench-out \\
+        --baselines benchmarks/baselines [--threshold 0.30]
+
+Rules:
+
+- a fresh ``speedup`` below ``(1 - threshold) * baseline`` is a
+  **regression** → exit 1;
+- a baseline file without a fresh counterpart is **skipped** with a note
+  (local runs of a benchmark subset stay usable); pass ``--require-all``
+  to turn that into a failure (what CI does);
+- fresh files or tests without a baseline are **new** — reported, never
+  failed, so adding a benchmark does not require touching this script.
+
+Baselines are intentionally conservative (see ``baselines/README.md``):
+they gate against collapses of the architectural wins, not against
+run-to-run noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Record fields treated as asserted ratios.  Absolute timings
+#: (``t_*_s``) are machine-dependent and deliberately not compared.
+RATIO_FIELDS = ("speedup",)
+
+
+def iter_ratios(payload: dict):
+    """Yield ``(test_name, field, value)`` for every ratio field."""
+    for test_name, fields in sorted(payload.get("tests", {}).items()):
+        for field in RATIO_FIELDS:
+            value = fields.get(field)
+            if isinstance(value, (int, float)):
+                yield test_name, field, float(value)
+
+
+def check(fresh_dir: Path, baseline_dir: Path, threshold: float,
+          require_all: bool = False) -> int:
+    """Compare fresh emissions against baselines; returns the exit code."""
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no baselines under {baseline_dir}", file=sys.stderr)
+        return 2
+
+    regressions: list[str] = []
+    missing: list[str] = []
+    n_checked = 0
+
+    for base_path in baselines:
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            missing.append(base_path.name)
+            continue
+        base = json.loads(base_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        fresh_tests = fresh.get("tests", {})
+        for test_name, field, base_value in iter_ratios(base):
+            fresh_value = fresh_tests.get(test_name, {}).get(field)
+            if not isinstance(fresh_value, (int, float)):
+                print(f"new/renamed: {base_path.name}::{test_name} has no "
+                      f"fresh {field!r} — not compared")
+                continue
+            n_checked += 1
+            floor = (1.0 - threshold) * base_value
+            status = "REGRESSION" if fresh_value < floor else "ok"
+            print(f"{status:>10}  {base_path.name}::{test_name} {field}: "
+                  f"fresh {fresh_value:.2f} vs baseline {base_value:.2f} "
+                  f"(floor {floor:.2f})")
+            if fresh_value < floor:
+                regressions.append(
+                    f"{base_path.name}::{test_name} {field} "
+                    f"{fresh_value:.2f} < {floor:.2f}"
+                )
+
+    for name in missing:
+        print(f"{'MISSING' if require_all else 'skipped':>10}  {name}: "
+              "no fresh emission")
+
+    if regressions:
+        print(f"\n[{len(regressions)} ratio(s) regressed >"
+              f"{threshold:.0%} below baseline]", file=sys.stderr)
+        return 1
+    if require_all and missing:
+        print(f"\n[{len(missing)} baseline(s) had no fresh emission]",
+              file=sys.stderr)
+        return 1
+    print(f"\n[{n_checked} ratio(s) within {threshold:.0%} of baseline]")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh BENCH_*.json regresses an asserted "
+                    "speedup ratio by more than the threshold.",
+    )
+    parser.add_argument("--fresh", type=Path, default=Path("."),
+                        metavar="DIR", help="directory holding freshly "
+                        "emitted BENCH_*.json (default: .)")
+    parser.add_argument("--baselines", type=Path,
+                        default=Path(__file__).parent / "baselines",
+                        metavar="DIR", help="committed baseline directory")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum tolerated relative regression "
+                             "(default: 0.30)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail if any baseline has no fresh emission")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
+    return check(args.fresh, args.baselines, args.threshold, args.require_all)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sim.engine import DagResult
 from repro.sim.lockstep import LockstepResult
 from repro.sim.trace import Trace
 
@@ -86,7 +87,22 @@ class RunTiming:
         )
 
     @classmethod
-    def of(cls, run: "Trace | LockstepResult | RunTiming") -> "RunTiming":
+    def from_dag(cls, result: DagResult) -> "RunTiming":
+        """Adopt a columnar DAG-engine result — no trace records involved.
+
+        Bitwise identical to ``from_trace(simulate(...))`` for the same
+        program: the dense matrices are extracted straight from the
+        propagated node times.
+        """
+        return cls(
+            exec_end=result.exec_end.copy(),
+            completion=result.completion.copy(),
+            idle=result.idle.copy(),
+            meta=dict(result.meta),
+        )
+
+    @classmethod
+    def of(cls, run: "Trace | LockstepResult | DagResult | RunTiming") -> "RunTiming":
         """Coerce any supported run representation to a :class:`RunTiming`."""
         if isinstance(run, RunTiming):
             return run
@@ -94,6 +110,8 @@ class RunTiming:
             return cls.from_trace(run)
         if isinstance(run, LockstepResult):
             return cls.from_lockstep(run)
+        if isinstance(run, DagResult):
+            return cls.from_dag(run)
         raise TypeError(f"cannot derive timing from {type(run).__name__}")
 
     # ------------------------------------------------------------------

@@ -79,8 +79,9 @@ class ReportTaskBatcher(TaskBatcher):
     the derived per-task seed of a replicate block, or an explicit
     ``seed`` axis value (reports with a ``seeds = [...]`` list).  Each
     block compiles the scenario once and runs all its draws as a single
-    ``[B, n_ranks, n_steps]`` batched-lockstep recurrence; DAG-bound
-    blocks fall back to per-task execution inside :meth:`execute`.
+    ``[B, n_ranks, n_steps]`` batched invocation — the lockstep
+    recurrence, or one batched propagation through a cached
+    :class:`~repro.sim.engine.StaticDag` for forced-DAG blocks.
 
     Parameters
     ----------
@@ -125,7 +126,8 @@ class ReportTaskBatcher(TaskBatcher):
         batched recurrence is elementwise along the batch axis).
         """
         from repro.scenarios.compiler import compile_scenario
-        from repro.scenarios.runner import _execute_prepared, prepare_scenario_run
+        from repro.scenarios.runner import prepare_scenario_run
+        from repro.sim.engine import simulate_dag_batch
         from repro.sim.lockstep import simulate_lockstep_batch
 
         first = specs[0].kwargs
@@ -133,16 +135,19 @@ class ReportTaskBatcher(TaskBatcher):
         compiled = compile_scenario(spec, engine=first.get("engine", "auto"))
         prepared = [prepare_scenario_run(compiled, _task_seed(s)) for s in specs]
 
-        if compiled.engine != "lockstep":
-            return [_timing_value(_execute_prepared(compiled, p))
-                    for p in prepared]
-
         stacked = np.stack([p.exec_times for p in prepared])
-        batch = simulate_lockstep_batch(
-            compiled.cfg, stacked,
-            network=compiled.network, domain=compiled.domain,
-            protocol=compiled.protocol, eager_limit=compiled.eager_limit,
-            mapping=compiled.mapping,
-        )
-        return [_timing_value(RunTiming.from_lockstep(batch[b]))
-                for b in range(len(specs))]
+        if compiled.engine == "lockstep":
+            batch = simulate_lockstep_batch(
+                compiled.cfg, stacked,
+                network=compiled.network, domain=compiled.domain,
+                protocol=compiled.protocol, eager_limit=compiled.eager_limit,
+                mapping=compiled.mapping,
+            )
+            timings = (RunTiming.from_lockstep(batch[b])
+                       for b in range(len(specs)))
+        else:
+            dag_batch = simulate_dag_batch(compiled.cfg, stacked,
+                                           compiled.sim_config())
+            timings = (RunTiming.from_dag(dag_batch[b])
+                       for b in range(len(specs)))
+        return [_timing_value(t) for t in timings]

@@ -51,7 +51,8 @@ class StoreEntry:
 
     ``fn`` and ``seed`` come from the provenance ``spec`` the executor
     records next to each value; they are ``None`` for records written
-    without one.
+    without one.  Sizes and ``mtime`` come from ``stat()`` — listing a
+    store never reads result payloads.
     """
 
     key: str
@@ -60,6 +61,7 @@ class StoreEntry:
     fn: "str | None"
     seed: "int | None"
     n_arrays: int
+    mtime: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -200,29 +202,79 @@ class ResultStore:
             n += 1
         return n
 
+    #: How much of a record's tail to read when listing it.  The header
+    #: fields (``__arrays__`` + ``spec``) are written after the payload,
+    #: so they live in the last few KB of even multi-megabyte records.
+    _HEADER_TAIL_BYTES = 65536
+
+    def _read_header(self, path: Path, size: int) -> "dict | None":
+        """The record's trailing header fields without parsing the payload.
+
+        Records are written as ``{"version", "key", "value", "__arrays__",
+        "spec"}`` with ``indent=1``, so the ``__arrays__`` key appears as
+        the byte sequence ``\\n "__arrays__":`` at nesting depth 1 — and
+        *only* there: JSON strings cannot contain a raw newline, and
+        deeper keys carry more indentation.  Parsing from that marker to
+        EOF yields the header fields at a cost independent of the (often
+        large) ``value`` payload.  Returns ``None`` for unreadable/torn
+        records — the same skip semantics :meth:`get` applies.
+        """
+        try:
+            with open(path, "rb") as fh:
+                if size > self._HEADER_TAIL_BYTES:
+                    fh.seek(size - self._HEADER_TAIL_BYTES)
+                tail = fh.read(self._HEADER_TAIL_BYTES)
+        except OSError:
+            return None
+        # The seek may land mid-codepoint; the marker is pure ASCII, so
+        # replacement of a leading partial character is harmless.
+        text = tail.decode("utf-8", errors="replace")
+        marker = text.rfind(f'\n "{_ARRAYS_MARKER}":')
+        if marker >= 0:
+            try:
+                return json.loads("{" + text[marker + 1:])
+            except json.JSONDecodeError:
+                return None
+        # Header not inside the tail window (oversized spec, foreign
+        # format): fall back to a full parse.  ValueError covers both
+        # JSONDecodeError and the UnicodeDecodeError a torn binary write
+        # produces.
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
     def entries(self) -> "Iterator[StoreEntry]":
         """Metadata of every readable record (unreadable ones are skipped;
-        :meth:`gc` is the tool that deals with those)."""
+        :meth:`gc` is the tool that deals with those).
+
+        Sizes and modification times come from ``stat()`` and only the
+        trailing header fields (``__arrays__``, ``spec``) are parsed —
+        listing a store of multi-megabyte records never deserializes
+        their payloads.
+        """
         for key in self.keys():
             path = self.path_for(key)
             try:
-                record = json.loads(path.read_text())
-                json_bytes = path.stat().st_size
-            except (OSError, json.JSONDecodeError):
+                st = path.stat()
+            except OSError:
                 continue
-            npz = self._npz_path(key)
+            header = self._read_header(path, st.st_size)
+            if header is None:
+                continue
             try:
-                npz_bytes = npz.stat().st_size
+                npz_bytes = self._npz_path(key).stat().st_size
             except OSError:
                 npz_bytes = 0
-            spec = record.get("spec") or {}
+            spec = header.get("spec") or {}
             yield StoreEntry(
                 key=key,
-                json_bytes=json_bytes,
+                json_bytes=st.st_size,
                 npz_bytes=npz_bytes,
                 fn=spec.get("fn"),
                 seed=spec.get("seed"),
-                n_arrays=len(record.get(_ARRAYS_MARKER, [])),
+                n_arrays=len(header.get(_ARRAYS_MARKER, [])),
+                mtime=st.st_mtime,
             )
 
     def gc(self, dry_run: bool = False,

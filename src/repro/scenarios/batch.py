@@ -9,17 +9,17 @@ Python-level per-step loop over small per-rank arrays.
 
 :class:`ScenarioTaskBatcher` plugs into
 :func:`repro.runtime.executor.run_campaign` and collapses each contiguous
-replicate block into **one** call of the batched lockstep engine
-(:func:`repro.sim.lockstep.simulate_lockstep_batch`): the scenario is
+replicate block into **one** batched engine call: the scenario is
 compiled once, each task's randomness is drawn from its own seed exactly
 as in serial execution, and the B execution-time matrices run as a single
-``[B, n_ranks, n_steps]`` recurrence.  Because the batched recurrence is
-elementwise along the batch axis, every task's outputs — and therefore
-its content-addressed cache record — are bit-identical to unbatched
-execution (guarded by ``tests/scenarios/test_batch.py``).
-
-Blocks whose scenario resolves to the DAG engine fall back to per-task
-execution inside :func:`repro.scenarios.runner.run_scenario_batch`.
+``[B, n_ranks, n_steps]`` invocation — the lockstep recurrence
+(:func:`repro.sim.lockstep.simulate_lockstep_batch`), or one batched
+propagation through a cached :class:`~repro.sim.engine.StaticDag`
+(:func:`repro.sim.engine.simulate_dag_batch`) for forced-DAG blocks.
+Because both batched propagations are elementwise along the batch axis,
+every task's outputs — and therefore its content-addressed cache record —
+are bit-identical to unbatched execution (guarded by
+``tests/scenarios/test_batch.py``).
 """
 
 from __future__ import annotations

@@ -12,6 +12,13 @@ models (:mod:`repro.workloads`), and the noise/campaign generators
 - the **DAG engine** remains available as the independent reference
   (``engine="dag"``) and as the only engine for irregular programs built
   outside the scenario layer (collectives, custom operation schedules).
+  Forced-DAG scenarios execute on the build-once/propagate-many
+  :class:`~repro.sim.engine.StaticDag` path: campaign replicate blocks
+  run as one batched propagation
+  (:func:`~repro.sim.engine.simulate_dag_batch`) and per-draw runs share
+  a cached structure, so even the reference engine sweeps at vectorized
+  speed.  :meth:`CompiledScenario.sim_config` is the single definition of
+  the :class:`~repro.sim.engine.SimConfig` every DAG execution path uses.
 
 All failures raise :class:`~repro.scenarios.errors.ScenarioError` naming
 the offending spec field.
@@ -27,6 +34,7 @@ from repro.scenarios.errors import ScenarioError
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.campaign import DelayCampaign
 from repro.sim.delay import DelaySpec
+from repro.sim.engine import SimConfig
 from repro.sim.mpi import DEFAULT_EAGER_LIMIT, Protocol, select_protocol
 from repro.sim.network import NetworkModel, UniformNetwork
 from repro.sim.noise import (
@@ -91,6 +99,21 @@ class CompiledScenario:
     def t_comm(self) -> float:
         """One message's end-to-end time — the ``T_comm`` of Eq. 2."""
         return self.network.total_pingpong_time(self.cfg.msg_size, self.domain)
+
+    def sim_config(self) -> SimConfig:
+        """The DAG engine configuration for this scenario.
+
+        Shared by every forced-DAG execution path (serial runs, batched
+        replicate blocks, report timing tasks) so the structure-cache key
+        — which includes the network/mapping/protocol configuration —
+        is identical across them.
+        """
+        return SimConfig(
+            network=self.network,
+            mapping=self.mapping,
+            eager_limit=self.eager_limit,
+            protocol=self.protocol,
+        )
 
 
 def _resolve_machine(spec: ScenarioSpec) -> "tuple[MachineSpec | None, UniformNetwork | None, CommDomain]":

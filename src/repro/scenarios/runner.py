@@ -15,9 +15,11 @@ Two entry points own the full deterministic pipeline:
 - :func:`run_scenario_batch` executes B runs of *one* compiled scenario
   (differing only in their seeds — e.g. the replicate draws of a delay
   campaign) as a single ``[B, n_ranks, n_steps]`` invocation of the
-  batched lockstep engine.  Step 1 and 3 run per seed exactly as in the
-  serial path and the batched recurrence is elementwise along the batch
-  axis, so every run's outputs are **bit-identical** to what
+  batched engine — the lockstep recurrence, or the DAG engine's
+  build-once/propagate-many :class:`~repro.sim.engine.StaticDag` sweep
+  for forced-DAG scenarios.  Step 1 and 3 run per seed exactly as in the
+  serial path and both batched propagations are elementwise along the
+  batch axis, so every run's outputs are **bit-identical** to what
   :func:`run_scenario` produces for the same seed — the contract the
   campaign runtime's content-addressed cache relies on.
 """
@@ -33,7 +35,7 @@ from repro.core.timing import RunTiming
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.outputs import compute_outputs
 from repro.scenarios.spec import ScenarioSpec
-from repro.sim.engine import SimConfig, simulate
+from repro.sim.engine import simulate_dag, simulate_dag_batch
 from repro.sim.hybrid import HybridConfig, hybrid_exec_times
 from repro.sim.lockstep import simulate_lockstep, simulate_lockstep_batch
 from repro.sim.program import build_lockstep_program
@@ -142,12 +144,14 @@ def _execute_prepared(compiled: CompiledScenario, prepared: PreparedRun) -> RunT
             mapping=compiled.mapping,
         )
         return RunTiming.from_lockstep(result)
+    # DAG reference: columnar fast path — the structure comes from the
+    # build cache (shared across a campaign's draws) and no OpRecord
+    # objects are materialized; matrices are bitwise identical to the
+    # full-trace path.
     program = build_lockstep_program(prepared.cfg, prepared.exec_times)
-    trace = simulate(program, SimConfig(
-        network=compiled.network, mapping=compiled.mapping,
-        eager_limit=compiled.eager_limit, protocol=compiled.protocol,
-    ))
-    return RunTiming.from_trace(trace)
+    result = simulate_dag(program, compiled.sim_config(),
+                          exec_times=prepared.exec_times)
+    return RunTiming.from_dag(result)
 
 
 def finish_scenario_run(
@@ -201,9 +205,11 @@ def run_scenario_batch(
     draw), which is the shape of a delay-campaign replicate block.  On the
     lockstep engine the B execution-time matrices are stacked into one
     ``[B, n_ranks, n_steps]`` recurrence; on the DAG engine (forced, or
-    chosen for a program the fast path cannot express) the runs execute
-    serially.  Either way, each returned :class:`ScenarioRun` is
-    bit-identical to ``run_scenario(scenario, seed=s)`` for its seed.
+    chosen for a program the fast path cannot express) the B draws flow
+    through one cached :class:`~repro.sim.engine.StaticDag` structure as
+    a single batched propagation.  Either way, each returned
+    :class:`ScenarioRun` is bit-identical to
+    ``run_scenario(scenario, seed=s)`` for its seed.
     """
     if isinstance(scenario, CompiledScenario):
         compiled = scenario
@@ -213,25 +219,22 @@ def run_scenario_batch(
         return []
     prepared = [prepare_scenario_run(compiled, s) for s in seeds]
 
-    if compiled.engine != "lockstep":
-        return [
-            finish_scenario_run(compiled, p, _execute_prepared(compiled, p))
-            for p in prepared
-        ]
-
     stacked = np.stack([p.exec_times for p in prepared])
-    batch = simulate_lockstep_batch(
-        compiled.cfg, stacked,
-        network=compiled.network, domain=compiled.domain,
-        protocol=compiled.protocol, eager_limit=compiled.eager_limit,
-        mapping=compiled.mapping,
-    )
+    if compiled.engine == "lockstep":
+        batch = simulate_lockstep_batch(
+            compiled.cfg, stacked,
+            network=compiled.network, domain=compiled.domain,
+            protocol=compiled.protocol, eager_limit=compiled.eager_limit,
+            mapping=compiled.mapping,
+        )
+        from_result = RunTiming.from_lockstep
+    else:
+        batch = simulate_dag_batch(compiled.cfg, stacked, compiled.sim_config())
+        from_result = RunTiming.from_dag
     runs = []
     for b, p in enumerate(prepared):
         result = batch[b]
         result.meta.pop("n_batch", None)
         result.meta.update({"delays": p.cfg.delays, "seed": p.seed})
-        runs.append(
-            finish_scenario_run(compiled, p, RunTiming.from_lockstep(result))
-        )
+        runs.append(finish_scenario_run(compiled, p, from_result(result)))
     return runs

@@ -33,7 +33,19 @@ from repro.sim.collectives import (
     build_collective_program,
 )
 from repro.sim.delay import DelaySpec, delays_at_local_rank, random_delays
-from repro.sim.engine import SimConfig, simulate
+from repro.sim.engine import (
+    BatchedDagResult,
+    DagResult,
+    EngineError,
+    SimConfig,
+    StaticDag,
+    build_dag,
+    clear_dag_cache,
+    dag_cache_info,
+    simulate,
+    simulate_dag,
+    simulate_dag_batch,
+)
 from repro.sim.hybrid import HybridConfig, hybrid_exec_times, hybrid_lockstep_config
 from repro.sim.lockstep import (
     BatchedLockstepResult,
@@ -68,14 +80,17 @@ from repro.sim.trace import OpRecord, Trace
 from repro.sim.traceio import read_jsonl, write_csv, write_jsonl
 
 __all__ = [
+    "BatchedDagResult",
     "BatchedLockstepResult",
     "BimodalNoise",
     "Collective",
     "CollectiveConfig",
     "CommDomain",
     "CommPattern",
+    "DagResult",
     "DelaySpec",
     "Direction",
+    "EngineError",
     "ExponentialNoise",
     "GammaNoise",
     "HockneyModel",
@@ -95,13 +110,17 @@ __all__ = [
     "Protocol",
     "SaturationConfig",
     "SimConfig",
+    "StaticDag",
     "Trace",
     "TraceNoise",
     "UniformNetwork",
     "UniformNoise",
     "build_collective_program",
+    "build_dag",
     "build_exec_times",
     "build_lockstep_program",
+    "clear_dag_cache",
+    "dag_cache_info",
     "delays_at_local_rank",
     "hybrid_exec_times",
     "hybrid_lockstep_config",
@@ -109,6 +128,8 @@ __all__ = [
     "read_jsonl",
     "select_protocol",
     "simulate",
+    "simulate_dag",
+    "simulate_dag_batch",
     "simulate_lockstep",
     "simulate_lockstep_batch",
     "simulate_saturation",

@@ -24,25 +24,93 @@ matched message adds cross-rank edges whose shape depends on the protocol:
   and cannot cascade; it reproduces the measured σ = 2 (and σ·d for d > 1)
   while leaving unidirectional and eager traffic untouched.
 
-Completion times are computed by Kahn-style topological propagation:
+The engine separates the **structure** of that DAG from the **weights**
+flowing through it.  Message matching is deterministic, so the node/edge
+graph depends only on the program's operation schedule and the network
+configuration — never on the drawn execution-phase durations.  A campaign
+that re-simulates the same program under hundreds of delay/noise draws
+therefore builds the graph **once**:
+
+- :func:`build_dag` compiles a program + config into a :class:`StaticDag`
+  holding CSR-style NumPy arrays (``succ_indptr``/``succ_index`` successor
+  lists, ``edge_delay`` slots) plus a precomputed topological level order;
+- :meth:`StaticDag.propagate` runs the Kahn sweep as a vectorized
+  per-level ``np.maximum.at`` recurrence.  Durations may carry a leading
+  batch axis, so B draws flow through one structure as a ``(B, n_nodes)``
+  computation — the DAG-engine analogue of
+  :func:`repro.sim.lockstep.simulate_lockstep_batch`;
+- a keyed structure cache (program-shape hash → :class:`StaticDag`) lets
+  sweeps that vary only delays/noise skip graph construction entirely
+  (see :func:`clear_dag_cache` / :func:`dag_cache_info`).
+
+Completion times obey
 ``end(n) = max over predecessors p of (end(p) + edge_delay) + duration(n)``.
-The result is an exact event-driven simulation of the program under the
-given network model — the same modeling approach as LogGOPSim, which the
-paper uses as its simulated comparator.
+Both ``max`` and the two additions are exact per IEEE-754 value (``max``
+selects an argument; the sums are the same two-operand additions the
+original scalar sweep performed), so the per-level batched propagation is
+**bitwise identical** to a per-draw scalar sweep — the property the
+campaign runtime's content-addressed cache relies on.  The result is an
+exact event-driven simulation of the program under the given network model
+— the same modeling approach as LogGOPSim, which the paper uses as its
+simulated comparator.
+
+Trace materialization is columnar: :func:`simulate_dag` /
+:func:`simulate_dag_batch` return dense per-(rank, step) timing matrices
+(:class:`DagResult` / :class:`BatchedDagResult`) and only build
+:class:`~repro.sim.trace.OpRecord` objects lazily when a caller asks for a
+full :class:`~repro.sim.trace.Trace`.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.sim.mpi import DEFAULT_EAGER_LIMIT, MessageMatcher, Protocol, select_protocol
 from repro.sim.network import NetworkModel, UniformNetwork
-from repro.sim.program import OpKind, Program
+from repro.sim.program import LockstepConfig, OpKind, Program, build_lockstep_program
 from repro.sim.topology import CommDomain, ProcessMapping
 from repro.sim.trace import OpRecord, Trace
 
-__all__ = ["SimConfig", "simulate"]
+__all__ = [
+    "BatchedDagResult",
+    "DagResult",
+    "EngineError",
+    "SimConfig",
+    "StaticDag",
+    "build_dag",
+    "clear_dag_cache",
+    "dag_cache_info",
+    "simulate",
+    "simulate_dag",
+    "simulate_dag_batch",
+]
+
+
+class EngineError(RuntimeError):
+    """Propagation could not complete: the dependency graph has a cycle.
+
+    A cycle in the program DAG means the communication pattern deadlocks
+    (e.g. two ranks that each wait for the other's rendezvous transfer
+    before posting their own).  The error carries enough structure for a
+    campaign runner to report *where* the program wedged:
+
+    Attributes
+    ----------
+    n_unprocessed:
+        Number of DAG nodes whose dependencies never resolved.
+    first_blocked_rank:
+        The lowest-program-order rank owning an unprocessed node, or
+        ``-1`` when only virtual (transfer/completion) nodes remain.
+    """
+
+    def __init__(self, message: str, *, n_unprocessed: int = 0,
+                 first_blocked_rank: int = -1) -> None:
+        super().__init__(message)
+        self.n_unprocessed = int(n_unprocessed)
+        self.first_blocked_rank = int(first_blocked_rank)
 
 
 @dataclass(frozen=True)
@@ -76,82 +144,371 @@ class SimConfig:
         return CommDomain.SELF if a == b else CommDomain.INTER_NODE
 
 
-class _DagBuilder:
-    """Accumulates nodes and edges, then propagates completion times."""
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + counts[i])`` index ranges."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shifts = starts - np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.repeat(shifts, counts) + np.arange(total, dtype=np.int64)
 
-    __slots__ = ("duration", "succs", "indeg", "ready", "prog_pred")
+
+@dataclass
+class StaticDag:
+    """The delay-independent structure of one program's dependency DAG.
+
+    Built once per (program shape, config) by :func:`build_dag`; per-draw
+    execution durations are injected at :meth:`propagate` time.  All
+    structural state is held in flat NumPy arrays:
+
+    - ``succ_indptr``/``succ_index`` — CSR successor lists: node ``u``'s
+      successors are ``succ_index[succ_indptr[u]:succ_indptr[u+1]]``;
+    - ``edge_delay`` — per-edge delay slot, aligned with ``succ_index``
+      (flight times of eager arrival edges; 0 elsewhere);
+    - ``level_order``/``level_ptr`` — a topological level schedule: the
+      nodes of level ``L`` are
+      ``level_order[level_ptr[L]:level_ptr[L+1]]`` and depend only on
+      nodes of earlier levels;
+    - ``base_duration`` — structure-derived node durations (send/recv
+      overheads, transfer flight times); execution-phase (``COMP``) slots
+      hold 0 and are filled per draw.
+
+    The remaining arrays map DAG nodes back to program coordinates for
+    columnar timing extraction (which (rank, step) cell a ``COMP`` or
+    ``WAITALL`` node belongs to) and for lazy trace materialization.
+    """
+
+    n_ranks: int
+    n_steps: int
+    # -- CSR structure -------------------------------------------------
+    succ_indptr: np.ndarray  # [n_nodes + 1] int64
+    succ_index: np.ndarray  # [n_edges] int64
+    edge_delay: np.ndarray  # [n_edges] float64, CSR order
+    base_duration: np.ndarray  # [n_nodes] float64 (COMP slots are 0)
+    prog_pred: np.ndarray  # [n_nodes] int64, -1 for chain heads / virtual
+    # -- topological level schedule -------------------------------------
+    level_order: np.ndarray  # [n_nodes] int64 node permutation
+    level_ptr: np.ndarray  # [n_levels + 1] int64
+    # level-major edge schedule (a permutation of the CSR edges)
+    edge_perm: np.ndarray  # [n_edges] int64 CSR positions, level order
+    edge_src_lv: np.ndarray  # [n_edges] int64
+    edge_dst_lv: np.ndarray  # [n_edges] int64
+    # -- program coordinates --------------------------------------------
+    comp_node: np.ndarray  # [n_comp] int64, program order
+    comp_rank: np.ndarray  # [n_comp] int64
+    comp_step: np.ndarray  # [n_comp] int64 (may be out of matrix range)
+    comp_op_idx: np.ndarray  # [n_comp] int64 op position within its rank
+    wait_node: np.ndarray  # [n_wait] int64, program order
+    wait_rank: np.ndarray  # [n_wait] int64
+    wait_step: np.ndarray  # [n_wait] int64
+    rank_node_ids: tuple  # per rank: int64 array aligned with program ops
+
+    # -- derived (computed in __post_init__) ----------------------------
+    #: exactly one COMP + one WAITALL per (rank, step) cell — the shape
+    #: for which lazy trace materialization is exact
+    lockstep_shaped: bool = field(init=False, repr=False)
+    _edge_delay_lv: np.ndarray = field(init=False, repr=False)
+    _comp_in: np.ndarray = field(init=False, repr=False)  # step-in-range mask
+    _wait_in: np.ndarray = field(init=False, repr=False)
+    _no_comp: np.ndarray = field(init=False, repr=False)  # [P, S] bool
+    _no_wait: np.ndarray = field(init=False, repr=False)
+    _comp_cells_unique: bool = field(init=False, repr=False)
+    _level_edge_ptr: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._edge_delay_lv = np.ascontiguousarray(
+            self.edge_delay[self.edge_perm])[:, None]
+        self._comp_in = (0 <= self.comp_step) & (self.comp_step < self.n_steps)
+        self._wait_in = (0 <= self.wait_step) & (self.wait_step < self.n_steps)
+        self._no_comp = np.ones((self.n_ranks, self.n_steps), dtype=bool)
+        self._no_comp[self.comp_rank[self._comp_in],
+                      self.comp_step[self._comp_in]] = False
+        self._no_wait = np.ones((self.n_ranks, self.n_steps), dtype=bool)
+        self._no_wait[self.wait_rank[self._wait_in],
+                      self.wait_step[self._wait_in]] = False
+        # Exactly one COMP and one WAITALL per (rank, step) cell?  Lazy
+        # trace materialization is only exact for that shape (the wait
+        # start is then recoverable as completion - idle).
+        n_cells = self.n_ranks * self.n_steps
+        comp_counts = np.bincount(
+            self.comp_rank[self._comp_in] * self.n_steps
+            + self.comp_step[self._comp_in], minlength=n_cells)
+        wait_counts = np.bincount(
+            self.wait_rank[self._wait_in] * self.n_steps
+            + self.wait_step[self._wait_in], minlength=n_cells)
+        self._comp_cells_unique = bool(np.all(comp_counts <= 1))
+        self.lockstep_shaped = bool(
+            np.all(self._comp_in) and np.all(self._wait_in)
+            and self._comp_cells_unique and np.all(comp_counts == 1)
+            and np.all(wait_counts == 1)
+        )
+        # Per-level edge ranges: level L's outgoing edges are the CSR rows
+        # of its nodes, concatenated in level order (== edge_perm ranges).
+        row_counts = self.succ_indptr[1:] - self.succ_indptr[:-1]
+        level_edge_counts = np.add.reduceat(
+            np.concatenate((row_counts[self.level_order], [0])),
+            self.level_ptr[:-1],
+        ) if self.n_levels else np.empty(0, dtype=np.int64)
+        self._level_edge_ptr = np.concatenate(
+            ([0], np.cumsum(level_edge_counts))).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return int(self.succ_indptr.shape[0] - 1)
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.succ_index.shape[0])
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.level_ptr.shape[0] - 1)
+
+    # ------------------------------------------------------------------
+    # duration assembly
+    # ------------------------------------------------------------------
+    def durations_for(self, program: Program) -> np.ndarray:
+        """Per-node durations with ``program``'s COMP phases filled in.
+
+        ``program`` must have the same shape as the one this structure
+        was built from (same operation schedule; only durations differ).
+        """
+        dur = self.base_duration.copy()
+        if self.comp_node.size:
+            ops = program.ops
+            dur[self.comp_node] = [
+                ops[r][j].duration for r, j in zip(self.comp_rank, self.comp_op_idx)
+            ]
+        return dur
+
+    def durations_from_exec(self, exec_times: np.ndarray) -> np.ndarray:
+        """Per-node durations from a dense ``(..., P, S)`` execution matrix.
+
+        Valid for lockstep-shaped programs (one ``COMP`` per rank and
+        step); leading axes become batch axes of the returned
+        ``(..., n_nodes)`` array.
+        """
+        exec_times = np.asarray(exec_times, dtype=float)
+        if exec_times.shape[-2:] != (self.n_ranks, self.n_steps):
+            raise ValueError(
+                f"exec_times shape {exec_times.shape} does not end in "
+                f"({self.n_ranks}, {self.n_steps})"
+            )
+        if not np.all(self._comp_in):
+            raise ValueError(
+                "program has COMP phases outside the step grid; use "
+                "durations_for(program) instead"
+            )
+        if not self._comp_cells_unique:
+            raise ValueError(
+                "program has several COMP phases in one (rank, step) cell — "
+                "a dense exec-time matrix cannot address them individually; "
+                "use durations_for(program) instead"
+            )
+        lead = exec_times.shape[:-2]
+        dur = np.broadcast_to(self.base_duration, (*lead, self.n_nodes)).copy()
+        dur[..., self.comp_node] = exec_times[..., self.comp_rank, self.comp_step]
+        return dur
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def propagate(self, durations: "np.ndarray | None" = None,
+                  edge_delays: "np.ndarray | None" = None) -> np.ndarray:
+        """Topological sweep; returns per-node completion times.
+
+        Parameters
+        ----------
+        durations:
+            Per-node durations, shape ``(..., n_nodes)``; leading axes are
+            batch axes and every batch slice is bitwise identical to a
+            scalar sweep of that slice.  Defaults to ``base_duration``
+            (all COMP phases zero-length).
+        edge_delays:
+            Optional per-edge delay override in CSR order (aligned with
+            ``succ_index``); defaults to the structure's ``edge_delay``.
+        """
+        if durations is None:
+            durations = self.base_duration
+        d = np.asarray(durations, dtype=float)
+        if d.shape[-1] != self.n_nodes:
+            raise ValueError(
+                f"durations last axis {d.shape[-1]} != n_nodes {self.n_nodes}"
+            )
+        lead = d.shape[:-1]
+        cols = np.ascontiguousarray(d.reshape(-1, self.n_nodes).T)
+        _, end = self._propagate_cols(cols, edge_delays)
+        return end.T.reshape(*lead, self.n_nodes)
+
+    def _propagate_cols(self, dur_cols: np.ndarray,
+                        edge_delays: "np.ndarray | None" = None
+                        ) -> "tuple[np.ndarray, np.ndarray]":
+        """Core sweep in ``(n_nodes, B)`` layout; returns ``(ready, end)``.
+
+        ``ready[u]`` is the time node ``u``'s dependencies resolved (the
+        record *start* time of non-WAITALL operations); ``end[u]`` is
+        ``ready[u] + duration[u]``.
+        """
+        n, b = dur_cols.shape
+        if edge_delays is None:
+            delay_lv = self._edge_delay_lv
+        else:
+            edge_delays = np.asarray(edge_delays, dtype=float)
+            if edge_delays.shape != (self.n_edges,):
+                raise ValueError(
+                    f"edge_delays shape {edge_delays.shape} != ({self.n_edges},)"
+                )
+            delay_lv = edge_delays[self.edge_perm][:, None]
+        ready = np.zeros((n, b))
+        end = np.empty((n, b))
+        level_ptr, edge_ptr = self.level_ptr, self._level_edge_ptr
+        order, src_lv, dst_lv = self.level_order, self.edge_src_lv, self.edge_dst_lv
+        for lv in range(self.n_levels):
+            nodes = order[level_ptr[lv]:level_ptr[lv + 1]]
+            end[nodes] = ready[nodes] + dur_cols[nodes]
+            e0, e1 = edge_ptr[lv], edge_ptr[lv + 1]
+            if e1 > e0:
+                np.maximum.at(
+                    ready, dst_lv[e0:e1], end[src_lv[e0:e1]] + delay_lv[e0:e1]
+                )
+        return ready, end
+
+    # ------------------------------------------------------------------
+    # columnar timing extraction
+    # ------------------------------------------------------------------
+    def _timing_cols(self, ready: np.ndarray, end: np.ndarray
+                     ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Dense ``(B, P, S)`` matrices from per-node ``(n_nodes, B)`` times.
+
+        Returns ``(exec_start, exec_end, completion, idle)`` with exactly
+        the semantics of :class:`~repro.sim.trace.Trace`'s matrix methods
+        (max/min reduction over same-cell records, NaN where a cell has no
+        record, idle summed over a cell's Waitalls in program order).
+        """
+        p, s, b = self.n_ranks, self.n_steps, end.shape[1]
+        cn = self.comp_node[self._comp_in]
+        cr = self.comp_rank[self._comp_in]
+        cs = self.comp_step[self._comp_in]
+        wn = self.wait_node[self._wait_in]
+        wr = self.wait_rank[self._wait_in]
+        ws = self.wait_step[self._wait_in]
+
+        exec_end = np.full((p, s, b), -np.inf)
+        np.maximum.at(exec_end, (cr, cs), end[cn])
+        exec_end[self._no_comp] = np.nan
+
+        exec_start = np.full((p, s, b), np.inf)
+        np.minimum.at(exec_start, (cr, cs), ready[cn])
+        exec_start[self._no_comp] = np.nan
+
+        completion = np.full((p, s, b), -np.inf)
+        np.maximum.at(completion, (wr, ws), end[wn])
+        completion[self._no_wait] = np.nan
+
+        # A WAITALL's record start is its local-chain readiness: the end of
+        # its program predecessor (0 at a chain head), not ``ready`` —
+        # cross-rank request edges must not shift the wait's start.
+        pred = self.prog_pred[wn]
+        wait_start = np.where((pred >= 0)[:, None],
+                              end[np.maximum(pred, 0)], 0.0)
+        idle = np.zeros((p, s, b))
+        np.add.at(idle, (wr, ws), end[wn] - wait_start)
+
+        to_batch = lambda m: np.ascontiguousarray(np.moveaxis(m, -1, 0))
+        return (to_batch(exec_start), to_batch(exec_end),
+                to_batch(completion), to_batch(idle))
+
+
+class _DagAccumulator:
+    """Collects nodes and edges while the program is walked."""
+
+    __slots__ = ("duration", "succs", "prog_pred", "node_rank")
 
     def __init__(self) -> None:
         self.duration: list[float] = []
         self.succs: list[list[tuple[int, float]]] = []
-        self.indeg: list[int] = []
-        self.ready: list[float] = []
         self.prog_pred: list[int] = []
+        self.node_rank: list[int] = []
 
-    def add_node(self, duration: float, prog_pred: int = -1) -> int:
+    def add_node(self, duration: float, prog_pred: int = -1, rank: int = -1) -> int:
         node = len(self.duration)
         self.duration.append(duration)
         self.succs.append([])
-        self.indeg.append(0)
-        self.ready.append(0.0)
         self.prog_pred.append(prog_pred)
+        self.node_rank.append(rank)
         if prog_pred >= 0:
             self.add_edge(prog_pred, node, 0.0)
         return node
 
     def add_edge(self, src: int, dst: int, delay: float) -> None:
         self.succs[src].append((dst, delay))
-        self.indeg[dst] += 1
-
-    def propagate(self) -> list[float]:
-        """Topological sweep; returns per-node completion times."""
-        n = len(self.duration)
-        indeg = self.indeg[:]
-        ready = self.ready
-        end = [0.0] * n
-        queue: deque[int] = deque(i for i in range(n) if indeg[i] == 0)
-        processed = 0
-        while queue:
-            node = queue.popleft()
-            processed += 1
-            end[node] = ready[node] + self.duration[node]
-            for succ, delay in self.succs[node]:
-                candidate = end[node] + delay
-                if candidate > ready[succ]:
-                    ready[succ] = candidate
-                indeg[succ] -= 1
-                if indeg[succ] == 0:
-                    queue.append(succ)
-        if processed != n:
-            raise RuntimeError(
-                f"dependency cycle in program DAG: processed {processed} of {n} nodes "
-                "(this indicates a deadlocking communication pattern)"
-            )
-        return end
 
 
-def simulate(program: Program, config: SimConfig | None = None) -> Trace:
-    """Run one program to completion and return its trace.
+def _levelize(n: int, indptr: np.ndarray, succ: np.ndarray,
+              node_rank: np.ndarray
+              ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Kahn level schedule over a CSR graph; raises :class:`EngineError`
+    on a cycle.  Returns ``(level_order, level_ptr, edge_perm,
+    edge_src_lv, edge_dst_lv)``."""
+    indeg = np.bincount(succ, minlength=n) if succ.size else np.zeros(n, dtype=np.int64)
+    indeg = indeg.astype(np.int64, copy=False).copy()
+    frontier = np.flatnonzero(indeg == 0)
+    order_parts: list[np.ndarray] = []
+    perm_parts: list[np.ndarray] = []
+    src_parts: list[np.ndarray] = []
+    level_ptr = [0]
+    processed = 0
+    while frontier.size:
+        order_parts.append(frontier)
+        processed += int(frontier.size)
+        level_ptr.append(processed)
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        epos = _concat_ranges(starts, counts)
+        perm_parts.append(epos)
+        src_parts.append(np.repeat(frontier, counts))
+        dsts = succ[epos]
+        np.subtract.at(indeg, dsts, 1)
+        cand = np.unique(dsts)
+        frontier = cand[indeg[cand] == 0]
+    if processed != n:
+        unprocessed = np.setdiff1d(np.arange(n), np.concatenate(order_parts)
+                                   if order_parts else np.empty(0, np.int64))
+        blocked_ranks = node_rank[unprocessed]
+        blocked_ranks = blocked_ranks[blocked_ranks >= 0]
+        first_blocked = int(blocked_ranks[0]) if blocked_ranks.size else -1
+        raise EngineError(
+            f"dependency cycle in program DAG: processed {processed} of {n} nodes "
+            f"({n - processed} unresolved, first blocked rank {first_blocked}) — "
+            "this indicates a deadlocking communication pattern",
+            n_unprocessed=n - processed,
+            first_blocked_rank=first_blocked,
+        )
+    empty = np.empty(0, dtype=np.int64)
+    perm = np.concatenate(perm_parts) if perm_parts else empty
+    return (
+        np.concatenate(order_parts) if order_parts else empty,
+        np.asarray(level_ptr, dtype=np.int64),
+        perm,
+        np.concatenate(src_parts) if src_parts else empty,
+        succ[perm],  # == edge_dst in level order, the CSR permutation image
+    )
 
-    The simulation is deterministic: all randomness (noise, delays) is baked
-    into the program's ``COMP`` durations at construction time.
 
-    Raises
-    ------
-    ValueError
-        If the program contains unmatched sends/receives.
-    RuntimeError
-        If the communication pattern deadlocks (dependency cycle).
-    """
-    if config is None:
-        config = SimConfig()
-
-    dag = _DagBuilder()
+def _build_structure(program: Program, config: SimConfig) -> StaticDag:
+    """Walk the program once and freeze its dependency DAG (uncached)."""
+    acc = _DagAccumulator()
     matcher = MessageMatcher()
 
-    # Metadata per DAG node needed to wire matches and emit records.
-    # op_nodes[rank] = list of (node, op) in program order.
-    op_nodes: list[list[tuple[int, object]]] = []
+    rank_node_ids: list[np.ndarray] = []
+    comp_node: list[int] = []
+    comp_rank: list[int] = []
+    comp_step: list[int] = []
+    comp_op_idx: list[int] = []
+    wait_node: list[int] = []
+    wait_rank: list[int] = []
+    wait_step: list[int] = []
     # waitall_of[node] = the WAITALL node this ISEND/IRECV belongs to
     waitall_of: dict[int, int] = {}
     # step_of_send[node] = bulk-synchronous step of an ISEND node
@@ -162,38 +519,46 @@ def simulate(program: Program, config: SimConfig | None = None) -> Trace:
 
     for rank, rank_ops in enumerate(program.ops):
         prev = -1
-        nodes_here: list[tuple[int, object]] = []
+        ids: list[int] = []
         pending_reqs: list[int] = []
-        for op in rank_ops:
+        for op_idx, op in enumerate(rank_ops):
             if op.kind == OpKind.COMP:
-                node = dag.add_node(op.duration, prev)
+                # Duration slot: filled per draw (the delay-dependent part).
+                node = acc.add_node(0.0, prev, rank)
+                comp_node.append(node)
+                comp_rank.append(rank)
+                comp_step.append(op.step)
+                comp_op_idx.append(op_idx)
             elif op.kind == OpKind.ISEND:
                 domain = config.domain(rank, op.peer)
-                node = dag.add_node(config.network.send_overhead(domain), prev)
+                node = acc.add_node(config.network.send_overhead(domain), prev, rank)
                 matcher.add_send(rank, op.peer, op.tag, op.size, node)
                 step_of_send[node] = op.step
                 pending_reqs.append(node)
             elif op.kind == OpKind.IRECV:
-                node = dag.add_node(0.0, prev)
+                node = acc.add_node(0.0, prev, rank)
                 matcher.add_recv(op.peer, rank, op.tag, node)
                 pending_reqs.append(node)
             elif op.kind == OpKind.WAITALL:
                 if prev >= 0:
                     prewait[(rank, op.step)] = prev
-                node = dag.add_node(0.0, prev)
+                node = acc.add_node(0.0, prev, rank)
                 for req in pending_reqs:
                     waitall_of[req] = node
                 pending_reqs = []
+                wait_node.append(node)
+                wait_rank.append(rank)
+                wait_step.append(op.step)
             else:  # pragma: no cover - OpKind is exhaustive
                 raise ValueError(f"unknown op kind {op.kind}")
-            nodes_here.append((node, op))
+            ids.append(node)
             prev = node
         if pending_reqs:
             raise ValueError(
                 f"rank {rank} ends with {len(pending_reqs)} requests not covered "
                 "by a WAITALL"
             )
-        op_nodes.append(nodes_here)
+        rank_node_ids.append(np.asarray(ids, dtype=np.int64))
 
     # Wire the matched messages.  Rendezvous matches are collected first so
     # the bidirectional progress-coupling rule can be applied afterwards.
@@ -212,18 +577,18 @@ def simulate(program: Program, config: SimConfig | None = None) -> Trace:
         recv_wait = waitall_of[m.recv_node]
         if proto == Protocol.EAGER:
             # Send request is locally complete; ISEND -> its WAITALL.
-            dag.add_edge(m.send_node, send_wait, 0.0)
+            acc.add_edge(m.send_node, send_wait, 0.0)
             # Receive request completes at max(arrival, posted) + o_recv.
-            completion = dag.add_node(o_recv)
-            dag.add_edge(m.send_node, completion, flight)
-            dag.add_edge(m.recv_node, completion, 0.0)
-            dag.add_edge(completion, recv_wait, 0.0)
+            completion = acc.add_node(o_recv)
+            acc.add_edge(m.send_node, completion, flight)
+            acc.add_edge(m.recv_node, completion, 0.0)
+            acc.add_edge(completion, recv_wait, 0.0)
         else:  # rendezvous: handshake, then transfer; both requests finish at end
-            transfer = dag.add_node(flight + o_recv)
-            dag.add_edge(m.send_node, transfer, 0.0)
-            dag.add_edge(m.recv_node, transfer, 0.0)
-            dag.add_edge(transfer, send_wait, 0.0)
-            dag.add_edge(transfer, recv_wait, 0.0)
+            transfer = acc.add_node(flight + o_recv)
+            acc.add_edge(m.send_node, transfer, 0.0)
+            acc.add_edge(m.recv_node, transfer, 0.0)
+            acc.add_edge(transfer, send_wait, 0.0)
+            acc.add_edge(transfer, recv_wait, 0.0)
             step = step_of_send[m.send_node]
             rdv_partners[(m.src, step)].add(m.dst)
             rdv_partners[(m.dst, step)].add(m.src)
@@ -244,36 +609,386 @@ def simulate(program: Program, config: SimConfig | None = None) -> Trace:
         for p in coupled:
             anchor = prewait.get((p, step))
             if anchor is not None:
-                dag.add_edge(anchor, transfer, 0.0)
+                acc.add_edge(anchor, transfer, 0.0)
 
-    end = dag.propagate()
+    # Freeze into CSR + level schedule.
+    n = len(acc.duration)
+    counts = np.fromiter((len(s) for s in acc.succs), dtype=np.int64, count=n)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    n_edges = int(indptr[-1])
+    succ = np.fromiter((dst for s in acc.succs for dst, _ in s),
+                       dtype=np.int64, count=n_edges)
+    delay = np.fromiter((d for s in acc.succs for _, d in s),
+                        dtype=float, count=n_edges)
+    node_rank = np.asarray(acc.node_rank, dtype=np.int64)
+
+    level_order, level_ptr, edge_perm, edge_src_lv, edge_dst_lv = _levelize(
+        n, indptr, succ, node_rank)
+
+    return StaticDag(
+        n_ranks=program.n_ranks,
+        n_steps=program.n_steps,
+        succ_indptr=indptr,
+        succ_index=succ,
+        edge_delay=delay,
+        base_duration=np.asarray(acc.duration, dtype=float),
+        prog_pred=np.asarray(acc.prog_pred, dtype=np.int64),
+        level_order=level_order,
+        level_ptr=level_ptr,
+        edge_perm=edge_perm,
+        edge_src_lv=edge_src_lv,
+        edge_dst_lv=edge_dst_lv,
+        comp_node=np.asarray(comp_node, dtype=np.int64),
+        comp_rank=np.asarray(comp_rank, dtype=np.int64),
+        comp_step=np.asarray(comp_step, dtype=np.int64),
+        comp_op_idx=np.asarray(comp_op_idx, dtype=np.int64),
+        wait_node=np.asarray(wait_node, dtype=np.int64),
+        wait_rank=np.asarray(wait_rank, dtype=np.int64),
+        wait_step=np.asarray(wait_step, dtype=np.int64),
+        rank_node_ids=tuple(rank_node_ids),
+    )
+
+
+# ----------------------------------------------------------------------
+# structure cache
+# ----------------------------------------------------------------------
+
+_DAG_CACHE: "OrderedDict[tuple, StaticDag]" = OrderedDict()
+_DAG_CACHE_MAX = 16
+_DAG_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _program_shape_key(program: Program) -> tuple:
+    """Hashable program shape: every structural field, no COMP durations."""
+    return (
+        program.n_steps,
+        tuple(
+            tuple((int(op.kind), op.peer, op.size, op.tag, op.step)
+                  for op in rank_ops)
+            for rank_ops in program.ops
+        ),
+    )
+
+
+def _config_key(config: SimConfig) -> tuple:
+    # dataclass reprs are deterministic and cover every field that feeds
+    # edge construction (per-domain flights/overheads, placement).
+    return (config.protocol, config.eager_limit,
+            type(config.network).__name__, repr(config.network),
+            repr(config.mapping))
+
+
+def build_dag(program: Program, config: "SimConfig | None" = None,
+              cache: bool = True) -> StaticDag:
+    """Compile a program + config into a :class:`StaticDag` (cached).
+
+    The cache key is the program's *shape* (operation kinds, peers, sizes,
+    tags, steps — everything except COMP durations) plus the config's
+    network/mapping/protocol parameters, so a delay campaign's draws all
+    hit one entry.  See CONTRIBUTING.md for when the cache must be
+    invalidated (:func:`clear_dag_cache`).
+    """
+    if config is None:
+        config = SimConfig()
+    if not cache:
+        return _build_structure(program, config)
+    key = (_program_shape_key(program), _config_key(config))
+    dag = _DAG_CACHE.get(key)
+    if dag is not None:
+        _DAG_CACHE.move_to_end(key)
+        _DAG_CACHE_STATS["hits"] += 1
+        return dag
+    _DAG_CACHE_STATS["misses"] += 1
+    dag = _build_structure(program, config)
+    _DAG_CACHE[key] = dag
+    while len(_DAG_CACHE) > _DAG_CACHE_MAX:
+        _DAG_CACHE.popitem(last=False)
+    return dag
+
+
+def clear_dag_cache() -> None:
+    """Drop every cached :class:`StaticDag` and reset the hit statistics."""
+    _DAG_CACHE.clear()
+    _DAG_CACHE_STATS.update(hits=0, misses=0)
+
+
+def dag_cache_info() -> dict:
+    """Cache observability: ``{"size", "max_size", "hits", "misses"}``."""
+    return {"size": len(_DAG_CACHE), "max_size": _DAG_CACHE_MAX,
+            **_DAG_CACHE_STATS}
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+def _dag_meta(program_meta: dict, config: SimConfig) -> dict:
+    return {**program_meta, "engine": "dag", "protocol": config.protocol.value,
+            "eager_limit": config.eager_limit}
+
+
+@dataclass
+class DagResult:
+    """Dense timing matrices from one DAG-engine run (columnar form).
+
+    All arrays are ``[n_ranks, n_steps]`` wall-clock seconds with exactly
+    the semantics of the corresponding :class:`~repro.sim.trace.Trace`
+    matrix methods.  No :class:`~repro.sim.trace.OpRecord` objects exist
+    until :meth:`to_trace` is called — analysis-layer consumers read the
+    dense arrays directly.
+    """
+
+    exec_start: np.ndarray
+    exec_end: np.ndarray
+    completion: np.ndarray
+    idle: np.ndarray
+    meta: dict = field(default_factory=dict)
+    #: whether the source program had exactly one COMP + one WAITALL per
+    #: (rank, step) — the only shape :meth:`to_trace` can reconstruct
+    exact_trace: bool = True
+
+    @property
+    def n_ranks(self) -> int:
+        return self.exec_end.shape[0]
+
+    @property
+    def n_steps(self) -> int:
+        return self.exec_end.shape[1]
+
+    def total_runtime(self) -> float:
+        """Wall-clock completion of the last rank."""
+        return float(np.nanmax(self.completion)) if self.completion.size else 0.0
+
+    def to_trace(self) -> Trace:
+        """Materialize COMP + WAITALL records (lazy trace construction).
+
+        Mirrors :meth:`repro.sim.lockstep.LockstepResult.to_trace`: the
+        per-message ISEND/IRECV records are not rebuilt — use
+        :func:`simulate` when a complete record stream is needed.
+
+        Raises
+        ------
+        ValueError
+            If the source program was not lockstep-shaped (a cell with
+            several Waitalls, or none): the dense matrices stay exact,
+            but per-record start times cannot be reconstructed from them.
+        """
+        if not self.exact_trace:
+            raise ValueError(
+                "program is not lockstep-shaped (one COMP + one WAITALL per "
+                "rank and step); use simulate() for a full record stream"
+            )
+        return Trace.from_matrices(
+            exec_start=self.exec_start,
+            exec_end=self.exec_end,
+            wait_start=self.completion - self.idle,
+            completion=self.completion,
+            meta=dict(self.meta),
+        )
+
+
+@dataclass
+class BatchedDagResult:
+    """Timing matrices of B independent DAG runs propagated together.
+
+    All arrays are ``[n_batch, n_ranks, n_steps]`` wall-clock seconds.
+    Indexing (``result[b]``) yields the b-th run as a :class:`DagResult`
+    (the slices share memory with the batch); every slice is bitwise
+    identical to the corresponding per-draw :func:`simulate_dag` run —
+    propagation is elementwise along the batch axis.
+    """
+
+    exec_start: np.ndarray
+    exec_end: np.ndarray
+    completion: np.ndarray
+    idle: np.ndarray
+    meta: dict = field(default_factory=dict)
+    exact_trace: bool = True
+
+    @property
+    def n_batch(self) -> int:
+        return self.exec_end.shape[0]
+
+    @property
+    def n_ranks(self) -> int:
+        return self.exec_end.shape[1]
+
+    @property
+    def n_steps(self) -> int:
+        return self.exec_end.shape[2]
+
+    def __len__(self) -> int:
+        return self.n_batch
+
+    def __getitem__(self, b: int) -> DagResult:
+        if not -self.n_batch <= b < self.n_batch:
+            raise IndexError(f"batch index {b} out of range [0, {self.n_batch})")
+        return DagResult(
+            exec_start=self.exec_start[b],
+            exec_end=self.exec_end[b],
+            completion=self.completion[b],
+            idle=self.idle[b],
+            meta=dict(self.meta),
+            exact_trace=self.exact_trace,
+        )
+
+    def results(self):
+        """Iterate over the B runs as :class:`DagResult` views."""
+        return (self[b] for b in range(self.n_batch))
+
+    def total_runtimes(self) -> np.ndarray:
+        """Per-run wall-clock completion, shape ``[n_batch]``."""
+        return np.nanmax(self.completion, axis=(1, 2))
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+
+def simulate(program: Program, config: SimConfig | None = None) -> Trace:
+    """Run one program to completion and return its full trace.
+
+    The simulation is deterministic: all randomness (noise, delays) is baked
+    into the program's ``COMP`` durations at construction time.  The DAG
+    structure is resolved through the build cache, so repeated calls with
+    same-shaped programs (a delay campaign's draws) skip graph
+    construction and only re-propagate the weights.
+
+    Raises
+    ------
+    ValueError
+        If the program contains unmatched sends/receives.
+    EngineError
+        If the communication pattern deadlocks (dependency cycle).
+    """
+    if config is None:
+        config = SimConfig()
+    dag = build_dag(program, config)
+    ready, end = dag._propagate_cols(dag.durations_for(program)[:, None])
+    r_ready, r_end = ready[:, 0], end[:, 0]
+    prog_pred = dag.prog_pred
 
     records: list[OpRecord] = []
-    for rank, nodes_here in enumerate(op_nodes):
-        for node, op in nodes_here:
-            pred = dag.prog_pred[node]
-            local_ready = end[pred] if pred >= 0 else 0.0
+    for rank, (rank_ops, node_ids) in enumerate(zip(program.ops, dag.rank_node_ids)):
+        for op, node in zip(rank_ops, node_ids):
             if op.kind == OpKind.WAITALL:
-                start = local_ready
+                pred = prog_pred[node]
+                start = r_end[pred] if pred >= 0 else 0.0
             else:
-                start = dag.ready[node]
+                start = r_ready[node]
             records.append(
                 OpRecord(
                     rank=rank,
                     step=op.step,
                     kind=op.kind,
-                    start=start,
-                    end=end[node],
+                    start=float(start),
+                    end=float(r_end[node]),
                     peer=op.peer,
                     size=op.size,
                 )
             )
 
-    trace = Trace(
+    return Trace(
         n_ranks=program.n_ranks,
         n_steps=program.n_steps,
         records=records,
-        meta={**program.meta, "engine": "dag", "protocol": config.protocol.value,
-              "eager_limit": config.eager_limit},
+        meta=_dag_meta(program.meta, config),
     )
-    return trace
+
+
+def simulate_dag(program: Program, config: SimConfig | None = None,
+                 exec_times: "np.ndarray | None" = None) -> DagResult:
+    """Run one program and return dense timing matrices (no records).
+
+    The columnar fast path of the DAG engine: identical numbers to
+    :func:`simulate` (``DagResult.exec_end`` is bitwise equal to
+    ``trace.exec_end_matrix()``, and so on) without materializing a
+    single :class:`~repro.sim.trace.OpRecord`.
+
+    Parameters
+    ----------
+    program, config:
+        As in :func:`simulate`.
+    exec_times:
+        Optional dense ``[n_ranks, n_steps]`` execution durations that
+        override the program's COMP durations (lockstep-shaped programs
+        only) — saves the per-op duration gather when the caller already
+        holds the matrix.
+    """
+    if config is None:
+        config = SimConfig()
+    dag = build_dag(program, config)
+    if exec_times is None:
+        durations = dag.durations_for(program)
+    else:
+        durations = dag.durations_from_exec(exec_times)
+    ready, end = dag._propagate_cols(durations[:, None])
+    exec_start, exec_end, completion, idle = dag._timing_cols(ready, end)
+    return DagResult(
+        exec_start=exec_start[0],
+        exec_end=exec_end[0],
+        completion=completion[0],
+        idle=idle[0],
+        meta=_dag_meta(program.meta, config),
+        exact_trace=dag.lockstep_shaped,
+    )
+
+
+def simulate_dag_batch(cfg: LockstepConfig, exec_times: np.ndarray,
+                       config: SimConfig | None = None) -> BatchedDagResult:
+    """Simulate B lockstep-program draws as one batched DAG propagation.
+
+    The DAG-engine analogue of
+    :func:`repro.sim.lockstep.simulate_lockstep_batch`: the program
+    structure is built (or fetched from the structure cache) once and the
+    B duration vectors flow through it as a single ``(n_nodes, B)``
+    sweep.
+
+    Parameters
+    ----------
+    cfg:
+        Shared experiment parameters (ranks, steps, pattern, message
+        size).  ``cfg.delays``/``cfg.noise``/``cfg.seed`` are *not*
+        consulted — all per-run variation must already be baked into
+        ``exec_times``.
+    exec_times:
+        ``[n_batch, n_ranks, n_steps]`` execution durations, one matrix
+        per run.
+    config:
+        Network/placement/protocol configuration shared by all runs.
+
+    Returns
+    -------
+    BatchedDagResult
+        ``[n_batch, n_ranks, n_steps]`` timing matrices whose slices are
+        bitwise identical to the corresponding per-draw runs.
+    """
+    if config is None:
+        config = SimConfig()
+    exec_times = np.asarray(exec_times, dtype=float)
+    if exec_times.ndim != 3 or exec_times.shape[1:] != (cfg.n_ranks, cfg.n_steps):
+        raise ValueError(
+            f"exec_times shape {exec_times.shape} != "
+            f"(n_batch, {cfg.n_ranks}, {cfg.n_steps})"
+        )
+    if exec_times.shape[0] < 1:
+        raise ValueError("batch must contain at least one run")
+
+    program = build_lockstep_program(cfg, exec_times[0])
+    dag = build_dag(program, config)
+    durations = dag.durations_from_exec(exec_times)
+    ready, end = dag._propagate_cols(
+        np.ascontiguousarray(durations.reshape(-1, dag.n_nodes).T))
+    exec_start, exec_end, completion, idle = dag._timing_cols(ready, end)
+    meta = _dag_meta(program.meta, config)
+    meta["n_batch"] = int(exec_times.shape[0])
+    return BatchedDagResult(
+        exec_start=exec_start,
+        exec_end=exec_end,
+        completion=completion,
+        idle=idle,
+        meta=meta,
+        exact_trace=dag.lockstep_shaped,
+    )

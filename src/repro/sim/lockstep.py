@@ -51,11 +51,10 @@ from repro.sim.program import (
     CommPattern,
     Direction,
     LockstepConfig,
-    OpKind,
     build_exec_times,
 )
 from repro.sim.topology import CommDomain, ProcessMapping
-from repro.sim.trace import OpRecord, Trace
+from repro.sim.trace import Trace
 
 __all__ = [
     "BatchedLockstepResult",
@@ -100,31 +99,11 @@ class LockstepResult:
         The per-message ISEND/IRECV records are not materialized — the
         analysis layer only consumes execution and wait timings.
         """
-        records: list[OpRecord] = []
-        for rank in range(self.n_ranks):
-            for step in range(self.n_steps):
-                records.append(
-                    OpRecord(
-                        rank=rank,
-                        step=step,
-                        kind=OpKind.COMP,
-                        start=float(self.exec_start[rank, step]),
-                        end=float(self.exec_end[rank, step]),
-                    )
-                )
-                records.append(
-                    OpRecord(
-                        rank=rank,
-                        step=step,
-                        kind=OpKind.WAITALL,
-                        start=float(self.post_end[rank, step]),
-                        end=float(self.completion[rank, step]),
-                    )
-                )
-        return Trace(
-            n_ranks=self.n_ranks,
-            n_steps=self.n_steps,
-            records=records,
+        return Trace.from_matrices(
+            exec_start=self.exec_start,
+            exec_end=self.exec_end,
+            wait_start=self.post_end,
+            completion=self.completion,
             meta={**self.meta, "engine": "lockstep"},
         )
 

@@ -1,0 +1,88 @@
+"""The CI benchmark regression guard (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parents[2] / "benchmarks" / "check_regression.py"
+
+
+@pytest.fixture(scope="module")
+def guard():
+    spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_bench(directory: Path, name: str, tests: dict) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(
+        {"benchmark": f"bench_{name}", "schema": 1, "tests": tests}))
+    return path
+
+
+def test_within_threshold_passes(guard, tmp_path):
+    write_bench(tmp_path / "base", "x", {"t": {"speedup": 10.0}})
+    write_bench(tmp_path / "fresh", "x", {"t": {"speedup": 8.0}})
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30) == 0
+
+
+def test_regression_beyond_threshold_fails(guard, tmp_path):
+    write_bench(tmp_path / "base", "x", {"t": {"speedup": 10.0}})
+    write_bench(tmp_path / "fresh", "x", {"t": {"speedup": 6.0}})
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30) == 1
+
+
+def test_improvement_passes(guard, tmp_path):
+    write_bench(tmp_path / "base", "x", {"t": {"speedup": 10.0}})
+    write_bench(tmp_path / "fresh", "x", {"t": {"speedup": 50.0}})
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30) == 0
+
+
+def test_absolute_timings_are_not_compared(guard, tmp_path):
+    """Only ratio fields gate; a slower absolute timing must not fail."""
+    write_bench(tmp_path / "base", "x",
+                {"t": {"speedup": 10.0, "t_batched_s": 0.01}})
+    write_bench(tmp_path / "fresh", "x",
+                {"t": {"speedup": 9.9, "t_batched_s": 5.0}})
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30) == 0
+
+
+def test_missing_fresh_file_skips_unless_required(guard, tmp_path):
+    write_bench(tmp_path / "base", "x", {"t": {"speedup": 10.0}})
+    (tmp_path / "fresh").mkdir()
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30) == 0
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30,
+                       require_all=True) == 1
+
+
+def test_new_test_without_baseline_is_not_failed(guard, tmp_path):
+    write_bench(tmp_path / "base", "x", {"t": {"speedup": 10.0}})
+    write_bench(tmp_path / "fresh", "x",
+                {"t": {"speedup": 10.0}, "t_new": {"speedup": 1.0}})
+    assert guard.check(tmp_path / "fresh", tmp_path / "base", 0.30) == 0
+
+
+def test_empty_baseline_dir_errors(guard, tmp_path):
+    (tmp_path / "base").mkdir()
+    assert guard.check(tmp_path, tmp_path / "base", 0.30) == 2
+
+
+def test_cli_threshold_validation(guard):
+    with pytest.raises(SystemExit):
+        guard.main(["--threshold", "1.5"])
+
+
+def test_committed_baselines_cover_the_dag_benchmark(guard):
+    """This PR checks in the (previously empty) baseline trajectory."""
+    baselines = SCRIPT.parent / "baselines"
+    names = {p.name for p in baselines.glob("BENCH_*.json")}
+    assert "BENCH_dag.json" in names
+    payload = json.loads((baselines / "BENCH_dag.json").read_text())
+    ratios = list(guard.iter_ratios(payload))
+    assert len(ratios) >= 2  # batched speedup + cache hit
+    assert all(v > 1.0 for _, _, v in ratios)

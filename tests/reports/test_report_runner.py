@@ -138,6 +138,7 @@ class TestStoreBacked:
 
         # Poison every engine entry point: a warm report must not simulate.
         import repro.scenarios.runner as runner_mod
+        import repro.sim.engine as engine_mod
         import repro.sim.lockstep as lockstep_mod
 
         def boom(*args, **kwargs):  # pragma: no cover - must not run
@@ -145,9 +146,12 @@ class TestStoreBacked:
 
         monkeypatch.setattr(lockstep_mod, "simulate_lockstep", boom)
         monkeypatch.setattr(lockstep_mod, "simulate_lockstep_batch", boom)
+        monkeypatch.setattr(engine_mod, "simulate_dag", boom)
+        monkeypatch.setattr(engine_mod, "simulate_dag_batch", boom)
         monkeypatch.setattr(runner_mod, "simulate_lockstep", boom)
         monkeypatch.setattr(runner_mod, "simulate_lockstep_batch", boom)
-        monkeypatch.setattr(runner_mod, "simulate", boom)
+        monkeypatch.setattr(runner_mod, "simulate_dag", boom)
+        monkeypatch.setattr(runner_mod, "simulate_dag_batch", boom)
         monkeypatch.setattr(runner_mod, "prepare_scenario_run", boom)
 
         warm = run_report(compiled, store=store)

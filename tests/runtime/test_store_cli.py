@@ -32,6 +32,62 @@ class TestEntries:
     def test_empty_store(self, tmp_path):
         assert list(ResultStore(tmp_path / "nope").entries()) == []
 
+    def test_mtime_comes_from_stat(self, store):
+        import os
+
+        key = "aa" * 16
+        os.utime(store.path_for(key), (1_000_000_000, 1_000_000_000))
+        entry = {e.key: e for e in store.entries()}[key]
+        assert entry.mtime == 1_000_000_000
+
+    def test_torn_and_partial_records_are_skipped(self, store):
+        """A store holding torn records lists only the readable ones.
+
+        Three flavors of damage: a record truncated mid-payload (the
+        header marker is gone), a record truncated mid-header (the marker
+        survives but its JSON does not), and plain garbage bytes.
+        """
+        for i, mutilate in enumerate([
+            lambda t: t[: t.index('"value"') + 10],          # mid-payload
+            lambda t: t[: t.rindex('"spec"') + 8],           # mid-header
+            lambda t: "{not json",                            # garbage
+        ]):
+            key = f"{i}{i}" * 16
+            store.put(key, {"x": list(range(50))}, spec={"fn": "m:f", "seed": i})
+            path = store.path_for(key)
+            path.write_text(mutilate(path.read_text()))
+        # non-UTF-8 bytes (torn binary write) must also be skipped
+        store.put("33" * 16, {"x": 1})
+        store.path_for("33" * 16).write_bytes(b"\xff\xfe garbage")
+        assert {e.key for e in store.entries()} == {"aa" * 16, "bb" * 16}
+
+    def test_header_parse_skips_large_payloads(self, store):
+        """Header fields are read from the record tail, not a full parse.
+
+        A payload much larger than the tail window, containing decoy
+        strings that *look* like the header marker inside JSON values
+        (where raw newlines are impossible), must still list correctly.
+        """
+        key = "cc" * 16
+        decoy = '\\n "__arrays__": [evil]'  # escaped newline, inside a string
+        store.put(
+            key,
+            {"blob": [decoy] * 20_000, "arr": np.arange(3.0)},
+            spec={"fn": "m:big", "seed": 9},
+        )
+        assert store.path_for(key).stat().st_size > ResultStore._HEADER_TAIL_BYTES
+        entry = {e.key: e for e in store.entries()}[key]
+        assert entry.fn == "m:big" and entry.seed == 9 and entry.n_arrays == 1
+
+    def test_header_outside_tail_window_falls_back_to_full_parse(self, store):
+        """An oversized spec pushes the header out of the tail window."""
+        key = "dd" * 16
+        store.put(key, {"x": 1},
+                  spec={"fn": "m:wide", "seed": 3,
+                        "padding": "p" * (2 * ResultStore._HEADER_TAIL_BYTES)})
+        entry = {e.key: e for e in store.entries()}[key]
+        assert entry.fn == "m:wide" and entry.seed == 3
+
 
 class TestGc:
     def test_nothing_to_do(self, store):

@@ -91,6 +91,30 @@ class TestBatchedCampaignBitIdentity:
         assert serial_files.keys() == batched_files.keys()
         assert serial_files == batched_files
 
+    def test_forced_dag_sweep_records_byte_identical(self, tmp_path):
+        """Forced-DAG campaigns cache the same bytes batched or not.
+
+        The DAG engine's batched ``StaticDag`` propagation must leave no
+        trace in the store: record names (spec keys) and payload bytes of
+        a batched forced-DAG sweep equal those of serial unbatched
+        execution.
+        """
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        serial_store = ResultStore(tmp_path / "serial")
+        batched_store = ResultStore(tmp_path / "batched")
+        serial = run_scenario_sweep(spec, engine="dag", jobs=1,
+                                    store=serial_store, batch=False)
+        batched = run_scenario_sweep(spec, engine="dag", jobs=1,
+                                     store=batched_store, batch=True)
+        assert all(v["engine"] == "dag" for v in batched.campaign.values())
+        assert serial.campaign.values() == batched.campaign.values()
+        serial_files = {p.name: p.read_bytes()
+                        for p in sorted((tmp_path / "serial").rglob("*.json"))}
+        batched_files = {p.name: p.read_bytes()
+                         for p in sorted((tmp_path / "batched").rglob("*.json"))}
+        assert serial_files.keys() == batched_files.keys()
+        assert serial_files == batched_files
+
     def test_batched_results_warm_an_unbatched_rerun(self, tmp_path):
         spec = load_bundled_scenario("campaign_rate_sweep")
         store = ResultStore(tmp_path / "store")

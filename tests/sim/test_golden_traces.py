@@ -98,6 +98,60 @@ class TestRegenRoundTrip:
             verify_golden_record(record)
 
 
+class TestBatchedPathsReproduceGolden:
+    """The batched engine paths replay every fixture within tolerance.
+
+    The corpus was recorded through the serial ``run_scenario`` path;
+    ``run_scenario_batch`` — the lockstep recurrence for auto-dispatched
+    fixtures, one batched ``StaticDag`` propagation for the forced-DAG
+    fixture — must reproduce the same timestamps even when the golden
+    seed is buried inside a larger batch.
+    """
+
+    @pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+    def test_batched_run_matches_fixture(self, path):
+        from repro.scenarios.runner import run_scenario_batch
+        from repro.scenarios.spec import ScenarioSpec
+
+        record = load(path)
+        seeds = [record["seed"], record["seed"] + 1, record["seed"] + 2]
+        runs = run_scenario_batch(
+            ScenarioSpec.from_dict(record["scenario"]), seeds,
+            engine=record["requested_engine"],
+        )
+        assert runs[0].compiled.engine == record["engine"]
+        np.testing.assert_allclose(
+            runs[0].timing.completion, np.asarray(record["completion"]),
+            rtol=GOLDEN_RTOL, atol=0.0,
+            err_msg=f"golden {record['name']}: batched completion drifted",
+        )
+        np.testing.assert_allclose(
+            runs[0].timing.exec_end, np.asarray(record["exec_end"]),
+            rtol=GOLDEN_RTOL, atol=0.0,
+            err_msg=f"golden {record['name']}: batched exec_end drifted",
+        )
+
+    @pytest.mark.parametrize(
+        "path",
+        [p for p in FIXTURES if load(p)["engine"] == "dag"],
+        ids=lambda p: p.stem,
+    )
+    def test_dag_fixture_batches_bitwise_with_serial(self, path):
+        from repro.scenarios.runner import run_scenario, run_scenario_batch
+        from repro.scenarios.spec import ScenarioSpec
+
+        record = load(path)
+        spec = ScenarioSpec.from_dict(record["scenario"])
+        seeds = [record["seed"], record["seed"] + 7]
+        batched = run_scenario_batch(spec, seeds, engine="dag")
+        for seed, run in zip(seeds, batched):
+            serial = run_scenario(spec, seed=seed, engine="dag")
+            assert np.array_equal(run.timing.completion,
+                                  serial.timing.completion)
+            assert np.array_equal(run.timing.idle, serial.timing.idle)
+            assert run.data == serial.data
+
+
 class TestGoldenCli:
     def test_check_passes_on_checked_in_corpus(self, capsys):
         from repro.cli import main
