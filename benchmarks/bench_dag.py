@@ -83,8 +83,11 @@ def test_bench_dag_batched_speedup_64_draw_campaign(once, bench_record):
     print(f"\n{N_DRAWS}-draw forced-DAG campaign: per-draw "
           f"{t_serial * 1e3:.1f} ms, batched {t_batched * 1e3:.1f} ms "
           f"({speedup:.1f}x)")
+    info = dag_cache_info()
+    hit_rate = info["hits"] / max(info["hits"] + info["misses"], 1)
     bench_record(n_draws=N_DRAWS, t_per_draw_s=t_serial,
-                 t_batched_s=t_batched, speedup=speedup)
+                 t_batched_s=t_batched, speedup=speedup,
+                 cache_hit_rate=hit_rate)
 
     # Correctness alongside speed: slices are bitwise equal to the traces.
     for b, trace in enumerate(serial_traces):
@@ -121,5 +124,8 @@ def test_bench_dag_structure_cache_hit(once, bench_record):
     speedup = t_cold / max(t_warm, 1e-12)
     print(f"\nstructure cache: cold build {t_cold * 1e3:.2f} ms, warm hit "
           f"{t_warm * 1e3:.3f} ms ({speedup:.0f}x)")
-    bench_record(t_cold_build_s=t_cold, t_warm_hit_s=t_warm, speedup=speedup)
+    info = dag_cache_info()
+    hit_rate = info["hits"] / max(info["hits"] + info["misses"], 1)
+    bench_record(t_cold_build_s=t_cold, t_warm_hit_s=t_warm, speedup=speedup,
+                 cache_hit_rate=hit_rate)
     assert t_warm < t_cold, "cache hit slower than a cold build"

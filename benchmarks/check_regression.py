@@ -38,6 +38,11 @@ from pathlib import Path
 #: (``t_*_s``) are machine-dependent and deliberately not compared.
 RATIO_FIELDS = ("speedup",)
 
+#: Informational telemetry fields printed next to each ratio under
+#: ``--telemetry`` — never compared, never failed (hit rates depend on
+#: workload shape, not on performance health).
+TELEMETRY_FIELDS = ("cache_hit_rate", "overhead_fraction")
+
 
 def iter_ratios(payload: dict):
     """Yield ``(test_name, field, value)`` for every ratio field."""
@@ -48,8 +53,18 @@ def iter_ratios(payload: dict):
                 yield test_name, field, float(value)
 
 
+def telemetry_note(fields: dict) -> str:
+    """Render the informational telemetry fields of one fresh record."""
+    parts = []
+    for field in TELEMETRY_FIELDS:
+        value = fields.get(field)
+        if isinstance(value, (int, float)):
+            parts.append(f"{field}={value * 100:.1f}%")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
 def check(fresh_dir: Path, baseline_dir: Path, threshold: float,
-          require_all: bool = False) -> int:
+          require_all: bool = False, telemetry: bool = False) -> int:
     """Compare fresh emissions against baselines; returns the exit code."""
     baselines = sorted(baseline_dir.glob("BENCH_*.json"))
     if not baselines:
@@ -77,9 +92,11 @@ def check(fresh_dir: Path, baseline_dir: Path, threshold: float,
             n_checked += 1
             floor = (1.0 - threshold) * base_value
             status = "REGRESSION" if fresh_value < floor else "ok"
+            note = telemetry_note(fresh_tests.get(test_name, {})) \
+                if telemetry else ""
             print(f"{status:>10}  {base_path.name}::{test_name} {field}: "
                   f"fresh {fresh_value:.2f} vs baseline {base_value:.2f} "
-                  f"(floor {floor:.2f})")
+                  f"(floor {floor:.2f}){note}")
             if fresh_value < floor:
                 regressions.append(
                     f"{base_path.name}::{test_name} {field} "
@@ -118,10 +135,15 @@ def main(argv: "list[str] | None" = None) -> int:
                              "(default: 0.30)")
     parser.add_argument("--require-all", action="store_true",
                         help="fail if any baseline has no fresh emission")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="print recorded telemetry fields (cache hit "
+                             "rate, overhead) next to each ratio; "
+                             "informational only, never failed on")
     args = parser.parse_args(argv)
     if not 0.0 < args.threshold < 1.0:
         parser.error(f"--threshold must be in (0, 1), got {args.threshold}")
-    return check(args.fresh, args.baselines, args.threshold, args.require_all)
+    return check(args.fresh, args.baselines, args.threshold, args.require_all,
+                 telemetry=args.telemetry)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,10 @@ Usage::
     repro-experiment store ls --cache-dir ~/.cache/repro   # cache contents
     repro-experiment store gc --cache-dir ~/.cache/repro   # prune orphans
 
+    repro-experiment stats show run.jsonl        # telemetry span tree
+    repro-experiment stats summarize run.jsonl   # hit rates, phase times
+    repro-experiment stats diff a.jsonl b.jsonl  # compare two runs
+
     repro-experiment golden --check       # verify the golden-trace corpus
     repro-experiment golden --regen       # regenerate tests/golden/
 
@@ -73,20 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
             "('repro-experiment scenario --help')."
         ),
         epilog=(
-            "The 'scenario', 'report', and 'store' commands delegate to "
-            "their own subcommands: repro-experiment scenario "
+            "The 'scenario', 'report', 'store', and 'stats' commands "
+            "delegate to their own subcommands: repro-experiment scenario "
             "{list,validate,run,sweep}, repro-experiment report "
-            "{list,validate,run}, repro-experiment store {ls,gc} ..."
+            "{list,validate,run}, repro-experiment store {ls,gc}, "
+            "repro-experiment stats {show,summarize,diff} ..."
         ),
     )
     parser.add_argument(
         "experiment",
         choices=[*sorted(EXPERIMENTS), "all", "list", "scenario", "report",
-                 "store", "golden"],
+                 "store", "stats", "golden"],
         help=(
             "experiment id (paper figure), 'all', 'list', 'scenario' / "
-            "'report' / 'store' (see epilog), or 'golden' (golden-trace "
-            "corpus)"
+            "'report' / 'store' / 'stats' (see epilog), or 'golden' "
+            "(golden-trace corpus)"
         ),
     )
     parser.add_argument(
@@ -154,13 +159,17 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.runtime.cli import store_main
 
         return store_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from repro.telemetry.cli import stats_main
+
+        return stats_main(argv[1:])
     if argv and argv[0] == "golden":
         from repro.golden import golden_main
 
         return golden_main(argv[1:])
 
     args = build_parser().parse_args(argv)
-    if args.experiment in ("scenario", "report", "store", "golden"):
+    if args.experiment in ("scenario", "report", "store", "stats", "golden"):
         # Reachable only when the subcommand is not the first token (e.g.
         # 'repro-experiment --seed 3 scenario'); its own arguments cannot
         # be recovered once argparse consumed the flags.

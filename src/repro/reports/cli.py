@@ -67,6 +67,13 @@ def build_report_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-batch", action="store_true",
                        help="run cache misses one engine call at a time "
                             "instead of batched (results are identical)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="record telemetry (spans, cache hit rates) and "
+                            "print a summary; results are unchanged")
+    p_run.add_argument("--telemetry-out", default=None, metavar="FILE",
+                       help="write the run's telemetry JSONL here "
+                            "(implies --profile); inspect with "
+                            "'repro-experiment stats'")
     return parser
 
 
@@ -129,10 +136,20 @@ def _cmd_validate(args) -> int:
 def _cmd_run(args) -> int:
     spec = resolve_report(args.report)
     compiled = compile_report(spec)
-    result = run_report(
-        compiled, store=_store(args.cache_dir), jobs=args.jobs,
-        batch=not args.no_batch,
-    )
+    if args.profile or args.telemetry_out:
+        from repro import telemetry
+
+        profiled = telemetry.profiled("report.run", out=args.telemetry_out,
+                                      cache_dir=args.cache_dir)
+    else:
+        from contextlib import nullcontext
+
+        profiled = nullcontext()
+    with profiled:
+        result = run_report(
+            compiled, store=_store(args.cache_dir), jobs=args.jobs,
+            batch=not args.no_batch,
+        )
     print(result.render())
     if args.out is not None:
         from repro.reports.artifacts import write_artifacts

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.reports.compiler import SCENARIO_COLUMN, CompiledReport
 from repro.reports.errors import ReportError
 from repro.reports.kernels import MetricContext
@@ -155,64 +156,68 @@ def run_report(
     groups: "dict[tuple, tuple[dict, dict]]" = {}
     n_tasks = n_loaded = n_executed = 0
     for target in report.targets:
-        tasks = target.sweep.tasks()
-        fetch = fetch_campaign(
-            tasks, store=store, jobs=jobs,
-            batcher=ReportTaskBatcher() if batch else None,
-        )
+        with telemetry.span("report.fetch", scenario=target.scenario.name):
+            tasks = target.sweep.tasks()
+            fetch = fetch_campaign(
+                tasks, store=store, jobs=jobs,
+                batcher=ReportTaskBatcher() if batch else None,
+            )
         n_tasks += fetch.n_tasks
         n_loaded += fetch.n_loaded
         n_executed += fetch.n_executed
 
         draws = target.draws_per_point
-        for pi, (overrides, compiled_point) in enumerate(
-                zip(target.grid.points, target.grid.compiled)):
-            block = fetch.values[pi * draws:(pi + 1) * draws]
-            timing = BatchedTiming.from_records(
-                block, meta=_point_meta(compiled_point))
-            ctx = MetricContext(compiled=compiled_point)
+        with telemetry.span("report.metrics", scenario=target.scenario.name,
+                            n_points=len(target.grid.points)):
+            for pi, (overrides, compiled_point) in enumerate(
+                    zip(target.grid.points, target.grid.compiled)):
+                block = fetch.values[pi * draws:(pi + 1) * draws]
+                timing = BatchedTiming.from_records(
+                    block, meta=_point_meta(compiled_point))
+                ctx = MetricContext(compiled=compiled_point)
 
-            group = {}
-            for path in group_columns:
-                if path == SCENARIO_COLUMN:
-                    group[path] = target.scenario.name
-                else:
-                    group[path] = overrides[path]
-            key = tuple(sorted(group.items(), key=lambda kv: kv[0]))
-            _, samples = groups.setdefault(key, (group, {}))
+                group = {}
+                for path in group_columns:
+                    if path == SCENARIO_COLUMN:
+                        group[path] = target.scenario.name
+                    else:
+                        group[path] = overrides[path]
+                key = tuple(sorted(group.items(), key=lambda kv: kv[0]))
+                _, samples = groups.setdefault(key, (group, {}))
 
-            for metric in report.metrics:
-                try:
-                    fields = metric.kernel.compute(timing, ctx,
-                                                   **metric.params)
-                except ReportError:
-                    raise
-                except (ValueError, IndexError, KeyError) as exc:
-                    # Backstop for kernels without a compile-time check:
-                    # surface *which* metric/scenario broke, not a numpy
-                    # traceback after the sweep already ran.
-                    raise ReportError(
-                        f"metric {metric.label!r} failed on scenario "
-                        f"{target.scenario.name!r} (point {overrides!r}): "
-                        f"{exc}",
-                        report=report.spec.name,
-                    ) from exc
-                for field_name, arr in fields.items():
-                    column = f"{metric.label}.{field_name}"
-                    samples.setdefault(column, []).append(arr)
+                for metric in report.metrics:
+                    try:
+                        fields = metric.kernel.compute(timing, ctx,
+                                                       **metric.params)
+                    except ReportError:
+                        raise
+                    except (ValueError, IndexError, KeyError) as exc:
+                        # Backstop for kernels without a compile-time check:
+                        # surface *which* metric/scenario broke, not a numpy
+                        # traceback after the sweep already ran.
+                        raise ReportError(
+                            f"metric {metric.label!r} failed on scenario "
+                            f"{target.scenario.name!r} (point {overrides!r}): "
+                            f"{exc}",
+                            report=report.spec.name,
+                        ) from exc
+                    for field_name, arr in fields.items():
+                        column = f"{metric.label}.{field_name}"
+                        samples.setdefault(column, []).append(arr)
 
     rows = []
-    for group, samples in groups.values():
-        pooled = {column: np.concatenate(arrays)
-                  for column, arrays in samples.items()}
-        n_draws = max((arr.size for arr in pooled.values()), default=0)
-        values = {
-            f"{column}.{stat}": aggregate_stat(arr, stat)
-            for column, arr in pooled.items()
-            for stat in stats
-        }
-        rows.append(ReportRow(group=group, n_draws=n_draws,
-                              values=values, draws=pooled))
+    with telemetry.span("report.aggregate", n_groups=len(groups)):
+        for group, samples in groups.values():
+            pooled = {column: np.concatenate(arrays)
+                      for column, arrays in samples.items()}
+            n_draws = max((arr.size for arr in pooled.values()), default=0)
+            values = {
+                f"{column}.{stat}": aggregate_stat(arr, stat)
+                for column, arr in pooled.items()
+                for stat in stats
+            }
+            rows.append(ReportRow(group=group, n_draws=n_draws,
+                                  values=values, draws=pooled))
 
     return ReportResult(
         report=report,

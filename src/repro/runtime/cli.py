@@ -66,7 +66,8 @@ def _cmd_ls(args) -> int:
             [
                 {"key": e.key, "fn": e.fn, "seed": e.seed,
                  "n_arrays": e.n_arrays, "json_bytes": e.json_bytes,
-                 "npz_bytes": e.npz_bytes, "mtime": e.mtime}
+                 "npz_bytes": e.npz_bytes, "total_bytes": e.total_bytes,
+                 "mtime": e.mtime}
                 for e in entries
             ],
             indent=2,

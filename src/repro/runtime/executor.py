@@ -47,6 +47,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from repro import telemetry
 from repro.runtime.spec import RunSpec
 from repro.runtime.store import ResultStore
 
@@ -180,52 +181,94 @@ def _execute(spec: RunSpec) -> "tuple[str, Any, float]":
     Returns ``("ok", value, duration)`` or ``("error", traceback_text,
     duration)`` so that failures — including ones whose exception types
     would not survive pickling — travel back to the parent as plain
-    data.  The duration is measured here, around the task code itself,
-    so pool queue wait never inflates it.  ``KeyboardInterrupt`` and
-    ``SystemExit`` propagate: in the serial backend they must abort the
-    campaign, and in a worker the pool machinery reports them anyway.
+    data.  The duration comes from an always-timed ``executor.task``
+    telemetry span around the task code itself, so pool queue wait never
+    inflates it.  ``KeyboardInterrupt`` and ``SystemExit`` propagate: in
+    the serial backend they must abort the campaign, and in a worker the
+    pool machinery reports them anyway.
     """
-    t0 = time.perf_counter()
-    try:
-        value = spec.call()
-    except Exception:  # noqa: BLE001 — isolation is the whole point
-        return "error", traceback.format_exc(), time.perf_counter() - t0
-    return "ok", value, time.perf_counter() - t0
+    status, payload = "ok", None
+    with telemetry.timed_span("executor.task", fn=spec.fn) as sp:
+        try:
+            payload = spec.call()
+        except Exception:  # noqa: BLE001 — isolation is the whole point
+            status, payload = "error", traceback.format_exc()
+            telemetry.count("executor.task_failures")
+    return status, payload, sp.duration
 
 
-def _execute_unit(
-    unit: "tuple[RunSpec, ...]", batcher: "TaskBatcher | None"
+def _execute_block(
+    unit: "tuple[RunSpec, ...]", batcher: TaskBatcher
 ) -> "list[tuple[str, Any, float]]":
-    """Run one unit (a single task or a batched block); one outcome per task.
+    """Run one batched block; one outcome per task.
 
-    A multi-task block that raises falls back to per-task execution, so a
+    A block that raises falls back to per-task execution, so a
     batch-infrastructure failure degrades to exactly the isolation
     semantics of unbatched execution — with a :class:`RuntimeWarning`
     naming the cause, since per-task execution may succeed and would
     otherwise hide the batcher defect entirely.
     ``KeyboardInterrupt``/``SystemExit`` propagate as in :func:`_execute`.
     """
-    if len(unit) == 1 or batcher is None:
-        return [_execute(spec) for spec in unit]
-    t0 = time.perf_counter()
-    try:
-        values = batcher.execute(unit)
-    except Exception:  # noqa: BLE001 — degrade to per-task isolation
-        warnings.warn(
-            f"batched execution of a {len(unit)}-task block failed; "
-            f"falling back to per-task execution:\n{traceback.format_exc()}",
-            RuntimeWarning, stacklevel=2,
-        )
-        return [_execute(spec) for spec in unit]
-    if len(values) != len(unit):
-        warnings.warn(
+    failure = None
+    values: "list | None" = None
+    with telemetry.timed_span("executor.block", n_tasks=len(unit)) as sp:
+        try:
+            values = batcher.execute(unit)
+        except Exception:  # noqa: BLE001 — degrade to per-task isolation
+            failure = (
+                f"batched execution of a {len(unit)}-task block failed; "
+                f"falling back to per-task execution:\n{traceback.format_exc()}"
+            )
+    if failure is None and values is not None and len(values) != len(unit):
+        failure = (
             f"batcher contract violation: {len(values)} values returned for "
-            f"a {len(unit)}-task block; falling back to per-task execution",
-            RuntimeWarning, stacklevel=2,
+            f"a {len(unit)}-task block; falling back to per-task execution"
         )
+    if failure is not None:
+        warnings.warn(failure, RuntimeWarning, stacklevel=3)
+        telemetry.count("executor.batch_fallbacks")
         return [_execute(spec) for spec in unit]
-    per_task = (time.perf_counter() - t0) / len(unit)
+    telemetry.observe("executor.block_size", len(unit))
+    per_task = sp.duration / len(unit)
     return [("ok", value, per_task) for value in values]
+
+
+def _execute_unit(
+    unit: "tuple[RunSpec, ...]",
+    batcher: "TaskBatcher | None",
+    profile: bool = False,
+    submit_t: "float | None" = None,
+) -> "tuple[list[tuple[str, Any, float]], dict | None]":
+    """Run one unit (a single task or a batched block) plus its telemetry.
+
+    Returns ``(outcomes, snapshot)`` where ``snapshot`` is the unit's own
+    telemetry.  The pool backend passes ``profile=True`` into its worker
+    processes, each of which records into a fresh recorder of its own and
+    ships the snapshot back through the result channel; ``enable()`` here
+    also discards the stale recorder copy a fork-started worker inherits
+    from a profiling parent.  The serial backend records straight into
+    the caller's recorder and returns ``None``.  ``submit_t`` is the
+    parent's ``perf_counter()`` at submission: ``perf_counter`` is
+    system-wide monotonic on Linux, so the difference is the unit's pool
+    queue wait.
+    """
+    owns = profile
+    if owns:
+        telemetry.enable()
+    try:
+        if submit_t is not None:
+            telemetry.observe("executor.queue_wait_s",
+                              max(0.0, time.perf_counter() - submit_t))
+        if len(unit) == 1 or batcher is None:
+            outcomes = [_execute(spec) for spec in unit]
+        else:
+            outcomes = _execute_block(unit, batcher)
+    finally:
+        # Workers are reused across units: always release an owned
+        # recorder, or an aborting unit would leave it live (and growing)
+        # for every later unit this process executes.
+        snap = telemetry.disable().snapshot() if owns else None
+    return outcomes, snap
 
 
 def _plan_units(
@@ -298,7 +341,6 @@ def run_campaign(
     """
     specs = tuple(specs)
     jobs = resolve_jobs(jobs)
-    t0 = time.perf_counter()
     slots: "list[TaskResult | None]" = [None] * len(specs)
 
     def finish(pos: int, result: TaskResult) -> None:
@@ -308,27 +350,36 @@ def run_campaign(
         if on_result is not None:
             on_result(result)
 
-    pending: "list[tuple[int, RunSpec]]" = []
-    for pos, spec in enumerate(specs):
-        cached = store.get(spec.key) if store is not None else None
-        if cached is not None:
-            finish(pos, TaskResult(spec=spec, value=cached, cached=True))
-        else:
-            pending.append((pos, spec))
+    # ``elapsed`` is the span's wall clock — the same two perf_counter
+    # reads the pre-telemetry bookkeeping made, recorded only if a
+    # profiling run is live.
+    with telemetry.timed_span("campaign.run", n_tasks=len(specs),
+                              jobs=jobs) as campaign_span:
+        pending: "list[tuple[int, RunSpec]]" = []
+        for pos, spec in enumerate(specs):
+            cached = store.get(spec.key) if store is not None else None
+            if cached is not None:
+                telemetry.count("campaign.cache.hits")
+                finish(pos, TaskResult(spec=spec, value=cached, cached=True))
+            else:
+                if store is not None:
+                    telemetry.count("campaign.cache.misses")
+                pending.append((pos, spec))
 
-    units = _plan_units(pending, batcher)
-    if jobs == 1 or len(units) <= 1:
-        for unit in units:
-            for (pos, spec), outcome in zip(unit, _execute_unit(
-                    tuple(spec for _, spec in unit), batcher)):
-                finish(pos, _as_task_result(spec, *outcome))
-    else:
-        _run_pool(units, jobs, batcher, finish)
+        units = _plan_units(pending, batcher)
+        if jobs == 1 or len(units) <= 1:
+            for unit in units:
+                outcomes, _ = _execute_unit(
+                    tuple(spec for _, spec in unit), batcher)
+                for (pos, spec), outcome in zip(unit, outcomes):
+                    finish(pos, _as_task_result(spec, *outcome))
+        else:
+            _run_pool(units, jobs, batcher, finish)
 
     return CampaignResult(
         results=tuple(slots),
         jobs=jobs,
-        elapsed=time.perf_counter() - t0,
+        elapsed=campaign_span.duration,
     )
 
 
@@ -355,8 +406,11 @@ def _run_pool(
     window = max_workers * _INFLIGHT_PER_JOB
     queue = iter(units)
     retries: "deque[tuple[tuple[int, RunSpec], ...]]" = deque()
+    profile = telemetry.enabled()
+    telemetry.gauge("executor.jobs", max_workers)
 
     def fail_unit(unit, note: str) -> None:
+        telemetry.count("executor.not_attempted", len(unit))
         for pos, spec in unit:
             finish(pos, _as_task_result(spec, "error", note, 0.0))
 
@@ -372,7 +426,9 @@ def _run_pool(
                     break
                 spec_block = tuple(spec for _, spec in unit)
                 try:
-                    in_flight[pool.submit(_execute_unit, spec_block, batcher)] = unit
+                    in_flight[pool.submit(
+                        _execute_unit, spec_block, batcher, profile,
+                        time.perf_counter())] = unit
                 except Exception:  # BrokenProcessPool, shutdown races
                     pool_broken = True
                     fail_unit(unit, "task not attempted: worker pool broke\n"
@@ -390,7 +446,7 @@ def _run_pool(
             for future in done:
                 unit = in_flight.pop(future)
                 try:
-                    outcomes = future.result()
+                    outcomes, snap = future.result()
                 except Exception:  # worker death / pickling failure
                     if len(unit) > 1:
                         # Don't fail the whole block for one bad task:
@@ -403,9 +459,13 @@ def _run_pool(
                             + traceback.format_exc(),
                             RuntimeWarning, stacklevel=2,
                         )
+                        telemetry.count("executor.block_retries")
                         retries.extend((entry,) for entry in unit)
                         continue
-                    outcomes = [("error", traceback.format_exc(), 0.0)]
+                    outcomes, snap = [("error", traceback.format_exc(), 0.0)], None
+                # Worker spans land under the live campaign.run span with
+                # their counters/histograms summed in.
+                telemetry.merge_snapshot(snap)
                 for (pos, spec), outcome in zip(unit, outcomes):
                     finish(pos, _as_task_result(spec, *outcome))
             refill()

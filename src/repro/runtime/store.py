@@ -24,6 +24,8 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro import telemetry
+
 __all__ = ["GcStats", "ResultStore", "StoreEntry"]
 
 _FORMAT_VERSION = 1
@@ -118,19 +120,26 @@ class ResultStore:
         simply recomputed and the record rewritten.
         """
         path = self.path_for(key)
-        try:
-            record = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        value = dict(record.get("value", {}))
-        array_fields = record.get(_ARRAYS_MARKER, [])
-        if array_fields:
+        with telemetry.span("store.get") as sp:
             try:
-                with np.load(self._npz_path(key)) as npz:
-                    for name in array_fields:
-                        value[name] = npz[name]
-            except (OSError, KeyError):
+                text = path.read_text()
+                record = json.loads(text)
+            except (OSError, json.JSONDecodeError):
+                telemetry.count("store.get.misses")
                 return None
+            value = dict(record.get("value", {}))
+            array_fields = record.get(_ARRAYS_MARKER, [])
+            if array_fields:
+                try:
+                    with np.load(self._npz_path(key)) as npz:
+                        for name in array_fields:
+                            value[name] = npz[name]
+                except (OSError, KeyError):
+                    telemetry.count("store.get.misses")
+                    return None
+            telemetry.count("store.get.hits")
+            telemetry.count("store.read_bytes", len(text))
+            sp.set(bytes=len(text), n_arrays=len(array_fields))
         return value
 
     # -- write --------------------------------------------------------
@@ -147,24 +156,29 @@ class ResultStore:
                 f"task results must be mappings, got {type(value).__name__}; "
                 "return a dict of named fields from the task function"
             )
-        plain, arrays = _split_arrays(value)
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        if arrays:
-            self._atomic_write(
-                self._npz_path(key),
-                lambda fh: np.savez_compressed(fh, **arrays),
-                binary=True,
-            )
-        record = {
-            "version": _FORMAT_VERSION,
-            "key": key,
-            "value": plain,
-            _ARRAYS_MARKER: sorted(arrays),
-        }
-        if spec is not None:
-            record["spec"] = dict(spec)
-        self._atomic_write(path, lambda fh: fh.write(json.dumps(record, indent=1)))
+        with telemetry.span("store.put") as sp:
+            plain, arrays = _split_arrays(value)
+            path = self.path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if arrays:
+                self._atomic_write(
+                    self._npz_path(key),
+                    lambda fh: np.savez_compressed(fh, **arrays),
+                    binary=True,
+                )
+            record = {
+                "version": _FORMAT_VERSION,
+                "key": key,
+                "value": plain,
+                _ARRAYS_MARKER: sorted(arrays),
+            }
+            if spec is not None:
+                record["spec"] = dict(spec)
+            text = json.dumps(record, indent=1)
+            self._atomic_write(path, lambda fh: fh.write(text))
+            telemetry.count("store.puts")
+            telemetry.count("store.write_bytes", len(text))
+            sp.set(bytes=len(text), n_arrays=len(arrays))
         return path
 
     def _atomic_write(self, path: Path, writer, binary: bool = False) -> None:
@@ -258,9 +272,11 @@ class ResultStore:
             try:
                 st = path.stat()
             except OSError:
+                telemetry.count("store.entries.torn_skips")
                 continue
             header = self._read_header(path, st.st_size)
             if header is None:
+                telemetry.count("store.entries.torn_skips")
                 continue
             try:
                 npz_bytes = self._npz_path(key).stat().st_size
@@ -338,5 +354,7 @@ class ResultStore:
             if not path.with_suffix(".json").exists() and old_enough(path):
                 n_orphan += 1
                 freed += remove(path)
+        telemetry.count("store.gc.removed", n_orphan + n_corrupt + n_tmp)
+        telemetry.count("store.gc.bytes_freed", freed)
         return GcStats(n_orphan_npz=n_orphan, n_corrupt=n_corrupt,
                        n_tmp=n_tmp, bytes_freed=freed)

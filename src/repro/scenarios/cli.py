@@ -65,6 +65,13 @@ def build_scenario_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-batch", action="store_true",
                        help="run sweep replicates one engine call at a time "
                             "instead of batched (results are identical)")
+        p.add_argument("--profile", action="store_true",
+                       help="record telemetry (spans, cache hit rates) and "
+                            "print a summary; results are unchanged")
+        p.add_argument("--telemetry-out", default=None, metavar="FILE",
+                       help="write the run's telemetry JSONL here "
+                            "(implies --profile); inspect with "
+                            "'repro-experiment stats'")
     return parser
 
 
@@ -74,6 +81,23 @@ def _store(cache_dir: "str | None"):
     from repro.runtime.store import ResultStore
 
     return ResultStore(cache_dir)
+
+
+def _maybe_profiled(args, label: str):
+    """Telemetry wiring for ``--profile`` / ``--telemetry-out`` runs.
+
+    Returns a no-op context unless profiling was requested; profiled runs
+    additionally persist their record next to the store artifacts when a
+    cache dir is in play.
+    """
+    if not (getattr(args, "profile", False) or args.telemetry_out):
+        from contextlib import nullcontext
+
+        return nullcontext()
+    from repro import telemetry
+
+    return telemetry.profiled(label, out=args.telemetry_out,
+                              cache_dir=args.cache_dir)
 
 
 def _cmd_list(args) -> int:
@@ -124,25 +148,28 @@ def _cmd_validate(args) -> int:
 def _cmd_run(args) -> int:
     spec = resolve_scenario(args.scenario)
     if spec.sweep is not None:
-        result = run_scenario_sweep(
-            spec, base_seed=args.seed, engine=args.engine,
-            jobs=args.jobs, store=_store(args.cache_dir),
-            batch=not args.no_batch,
-        )
+        with _maybe_profiled(args, "scenario.sweep"):
+            result = run_scenario_sweep(
+                spec, base_seed=args.seed, engine=args.engine,
+                jobs=args.jobs, store=_store(args.cache_dir),
+                batch=not args.no_batch,
+            )
         print(result.render())
         return 0
-    run = run_scenario(spec, seed=args.seed, engine=args.engine)
+    with _maybe_profiled(args, "scenario.run"):
+        run = run_scenario(spec, seed=args.seed, engine=args.engine)
     print(run.render())
     return 0
 
 
 def _cmd_sweep(args) -> int:
     spec = resolve_scenario(args.scenario)
-    result = run_scenario_sweep(
-        spec, base_seed=args.seed, engine=args.engine,
-        jobs=args.jobs, store=_store(args.cache_dir),
-        batch=not args.no_batch,
-    )
+    with _maybe_profiled(args, "scenario.sweep"):
+        result = run_scenario_sweep(
+            spec, base_seed=args.seed, engine=args.engine,
+            jobs=args.jobs, store=_store(args.cache_dir),
+            batch=not args.no_batch,
+        )
     print(result.render())
     return 0
 

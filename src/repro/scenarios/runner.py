@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.timing import RunTiming
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.outputs import compute_outputs
@@ -105,6 +106,15 @@ def prepare_scenario_run(
     """
     spec = compiled.spec
     run_seed = spec.seed if seed is None else int(seed)
+    with telemetry.span("scenario.prepare", scenario=spec.name,
+                        seed=run_seed):
+        return _prepare_scenario_run_inner(compiled, run_seed)
+
+
+def _prepare_scenario_run_inner(
+    compiled: CompiledScenario, run_seed: int
+) -> PreparedRun:
+    spec = compiled.spec
     rng = np.random.default_rng(run_seed)
 
     cfg = compiled.cfg
@@ -136,6 +146,13 @@ def prepare_scenario_run(
 
 def _execute_prepared(compiled: CompiledScenario, prepared: PreparedRun) -> RunTiming:
     """Run one prepared scenario on the compiled engine choice."""
+    with telemetry.span("scenario.execute", engine=compiled.engine):
+        return _execute_prepared_inner(compiled, prepared)
+
+
+def _execute_prepared_inner(
+    compiled: CompiledScenario, prepared: PreparedRun
+) -> RunTiming:
     if compiled.engine == "lockstep":
         result = simulate_lockstep(
             prepared.cfg, exec_times=prepared.exec_times,
@@ -158,7 +175,8 @@ def finish_scenario_run(
     compiled: CompiledScenario, prepared: PreparedRun, timing: RunTiming
 ) -> ScenarioRun:
     """Evaluate the scenario's requested outputs against a finished run."""
-    data, tables = compute_outputs(compiled, timing)
+    with telemetry.span("scenario.finish"):
+        data, tables = compute_outputs(compiled, timing)
     return ScenarioRun(
         compiled=compiled, seed=prepared.seed, timing=timing,
         n_campaign_delays=prepared.n_campaign_delays, data=data, tables=tables,
@@ -188,7 +206,8 @@ def run_scenario(
     if isinstance(scenario, CompiledScenario):
         compiled = scenario
     else:
-        compiled = compile_scenario(scenario, engine=engine)
+        with telemetry.span("scenario.compile"):
+            compiled = compile_scenario(scenario, engine=engine)
     prepared = prepare_scenario_run(compiled, seed)
     timing = _execute_prepared(compiled, prepared)
     return finish_scenario_run(compiled, prepared, timing)
@@ -214,23 +233,27 @@ def run_scenario_batch(
     if isinstance(scenario, CompiledScenario):
         compiled = scenario
     else:
-        compiled = compile_scenario(scenario, engine=engine)
+        with telemetry.span("scenario.compile"):
+            compiled = compile_scenario(scenario, engine=engine)
     if not seeds:
         return []
     prepared = [prepare_scenario_run(compiled, s) for s in seeds]
 
     stacked = np.stack([p.exec_times for p in prepared])
-    if compiled.engine == "lockstep":
-        batch = simulate_lockstep_batch(
-            compiled.cfg, stacked,
-            network=compiled.network, domain=compiled.domain,
-            protocol=compiled.protocol, eager_limit=compiled.eager_limit,
-            mapping=compiled.mapping,
-        )
-        from_result = RunTiming.from_lockstep
-    else:
-        batch = simulate_dag_batch(compiled.cfg, stacked, compiled.sim_config())
-        from_result = RunTiming.from_dag
+    with telemetry.span("scenario.execute", engine=compiled.engine,
+                        batch=len(prepared)):
+        if compiled.engine == "lockstep":
+            batch = simulate_lockstep_batch(
+                compiled.cfg, stacked,
+                network=compiled.network, domain=compiled.domain,
+                protocol=compiled.protocol, eager_limit=compiled.eager_limit,
+                mapping=compiled.mapping,
+            )
+            from_result = RunTiming.from_lockstep
+        else:
+            batch = simulate_dag_batch(compiled.cfg, stacked,
+                                       compiled.sim_config())
+            from_result = RunTiming.from_dag
     runs = []
     for b, p in enumerate(prepared):
         result = batch[b]

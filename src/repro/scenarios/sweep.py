@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.runtime import CampaignResult, SweepSpec, run_campaign
 from repro.scenarios.compiler import compile_scenario
 from repro.scenarios.errors import ScenarioError
@@ -213,21 +214,24 @@ def run_scenario_sweep(
     """
     from repro.scenarios.batch import ScenarioTaskBatcher
 
-    sweep = scenario_sweep_spec(spec, base_seed=base_seed, engine=engine)
+    with telemetry.span("sweep.expand", scenario=spec.name):
+        sweep = scenario_sweep_spec(spec, base_seed=base_seed, engine=engine)
+        tasks = sweep.tasks()
     campaign = run_campaign(
-        sweep.tasks(), jobs=jobs, store=store,
+        tasks, jobs=jobs, store=store,
         batcher=ScenarioTaskBatcher() if batch else None,
     )
     campaign.raise_failures()
 
-    grouped: "dict[str, tuple[dict, list]]" = {}
-    for result in campaign:
-        overrides = result.spec.kwargs.get("overrides") or {}
-        key = json.dumps(overrides, sort_keys=True)
-        grouped.setdefault(key, (overrides, []))[1].append(result.value)
-    points = tuple(
-        SweepPointSummary(overrides=dict(overrides), n_runs=len(values),
-                          outputs=_mean_outputs(values))
-        for overrides, values in grouped.values()
-    )
+    with telemetry.span("sweep.aggregate", n_runs=len(campaign)):
+        grouped: "dict[str, tuple[dict, list]]" = {}
+        for result in campaign:
+            overrides = result.spec.kwargs.get("overrides") or {}
+            key = json.dumps(overrides, sort_keys=True)
+            grouped.setdefault(key, (overrides, []))[1].append(result.value)
+        points = tuple(
+            SweepPointSummary(overrides=dict(overrides), n_runs=len(values),
+                              outputs=_mean_outputs(values))
+            for overrides, values in grouped.values()
+        )
     return ScenarioSweepResult(spec=spec, campaign=campaign, points=points)

@@ -68,6 +68,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim.mpi import DEFAULT_EAGER_LIMIT, MessageMatcher, Protocol, select_protocol
 from repro.sim.network import NetworkModel, UniformNetwork
 from repro.sim.program import LockstepConfig, OpKind, Program, build_lockstep_program
@@ -364,14 +365,16 @@ class StaticDag:
         end = np.empty((n, b))
         level_ptr, edge_ptr = self.level_ptr, self._level_edge_ptr
         order, src_lv, dst_lv = self.level_order, self.edge_src_lv, self.edge_dst_lv
-        for lv in range(self.n_levels):
-            nodes = order[level_ptr[lv]:level_ptr[lv + 1]]
-            end[nodes] = ready[nodes] + dur_cols[nodes]
-            e0, e1 = edge_ptr[lv], edge_ptr[lv + 1]
-            if e1 > e0:
-                np.maximum.at(
-                    ready, dst_lv[e0:e1], end[src_lv[e0:e1]] + delay_lv[e0:e1]
-                )
+        with telemetry.span("engine.dag.propagate", batch=b,
+                            n_levels=self.n_levels, n_nodes=n):
+            for lv in range(self.n_levels):
+                nodes = order[level_ptr[lv]:level_ptr[lv + 1]]
+                end[nodes] = ready[nodes] + dur_cols[nodes]
+                e0, e1 = edge_ptr[lv], edge_ptr[lv + 1]
+                if e1 > e0:
+                    np.maximum.at(
+                        ready, dst_lv[e0:e1], end[src_lv[e0:e1]] + delay_lv[e0:e1]
+                    )
         return ready, end
 
     # ------------------------------------------------------------------
@@ -655,7 +658,7 @@ def _build_structure(program: Program, config: SimConfig) -> StaticDag:
 
 _DAG_CACHE: "OrderedDict[tuple, StaticDag]" = OrderedDict()
 _DAG_CACHE_MAX = 16
-_DAG_CACHE_STATS = {"hits": 0, "misses": 0}
+_DAG_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _program_shape_key(program: Program) -> tuple:
@@ -691,29 +694,42 @@ def build_dag(program: Program, config: "SimConfig | None" = None,
     if config is None:
         config = SimConfig()
     if not cache:
-        return _build_structure(program, config)
+        with telemetry.span("engine.build_dag", cached=False) as sp:
+            dag = _build_structure(program, config)
+            sp.set(n_nodes=dag.n_nodes, n_edges=dag.n_edges,
+                   n_levels=dag.n_levels)
+        return dag
     key = (_program_shape_key(program), _config_key(config))
     dag = _DAG_CACHE.get(key)
     if dag is not None:
         _DAG_CACHE.move_to_end(key)
         _DAG_CACHE_STATS["hits"] += 1
+        telemetry.count("dag.cache.hits")
         return dag
     _DAG_CACHE_STATS["misses"] += 1
-    dag = _build_structure(program, config)
+    telemetry.count("dag.cache.misses")
+    with telemetry.span("engine.build_dag", cached=True) as sp:
+        dag = _build_structure(program, config)
+        sp.set(n_nodes=dag.n_nodes, n_edges=dag.n_edges,
+               n_levels=dag.n_levels)
     _DAG_CACHE[key] = dag
     while len(_DAG_CACHE) > _DAG_CACHE_MAX:
         _DAG_CACHE.popitem(last=False)
+        _DAG_CACHE_STATS["evictions"] += 1
+        telemetry.count("dag.cache.evictions")
     return dag
 
 
 def clear_dag_cache() -> None:
     """Drop every cached :class:`StaticDag` and reset the hit statistics."""
     _DAG_CACHE.clear()
-    _DAG_CACHE_STATS.update(hits=0, misses=0)
+    _DAG_CACHE_STATS.update(hits=0, misses=0, evictions=0)
 
 
 def dag_cache_info() -> dict:
-    """Cache observability: ``{"size", "max_size", "hits", "misses"}``."""
+    """Cache observability: size/occupancy plus the always-on hit, miss,
+    and eviction counters (mirrored into telemetry as ``dag.cache.*``
+    when a recorder is enabled)."""
     return {"size": len(_DAG_CACHE), "max_size": _DAG_CACHE_MAX,
             **_DAG_CACHE_STATS}
 

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.sim.mpi import Protocol, select_protocol
 from repro.sim.network import NetworkModel, UniformNetwork
 from repro.sim.program import (
@@ -286,6 +287,24 @@ def _simulate_core(
     every operation is elementwise along leading (batch) axes, which makes
     batched slices bit-identical to unbatched runs.
     """
+    if telemetry.enabled():
+        batch = int(np.prod(exec_times.shape[:-2], dtype=np.int64))
+        with telemetry.span("engine.lockstep.simulate", batch=batch,
+                            n_ranks=cfg.n_ranks, n_steps=cfg.n_steps):
+            return _simulate_core_inner(cfg, exec_times, network, domain,
+                                        proto, mapping)
+    return _simulate_core_inner(cfg, exec_times, network, domain,
+                                proto, mapping)
+
+
+def _simulate_core_inner(
+    cfg: LockstepConfig,
+    exec_times: np.ndarray,
+    network: NetworkModel,
+    domain: CommDomain,
+    proto: Protocol,
+    mapping: "ProcessMapping | None",
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
     n = cfg.n_ranks
     pattern = cfg.pattern
 

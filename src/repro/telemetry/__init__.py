@@ -1,0 +1,92 @@
+"""Zero-dependency runtime telemetry: spans, counters, sinks, stats CLI.
+
+Instrumentation sites call the module-level fast path::
+
+    from repro import telemetry
+
+    with telemetry.span("engine.dag.propagate", batch=n) as sp:
+        ...
+        sp.set(n_levels=levels)
+    telemetry.count("dag.cache.hits")
+
+which is a no-op (shared null span, no clock reads) unless a CLI
+``--profile`` run — or a test — has called :func:`enable`.  The
+:func:`profiled` context manager is the one-stop wiring used by
+``scenario run|sweep`` and ``report run``: enable, open a root span,
+and on exit snapshot, write sinks, and print the summary.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from .recorder import (
+    Recorder,
+    Span,
+    count,
+    current_recorder,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    merge_snapshot,
+    observe,
+    span,
+    timed_span,
+)
+from .sinks import read_jsonl, render_summary, summarize, write_jsonl
+
+__all__ = [
+    "Recorder",
+    "Span",
+    "count",
+    "current_recorder",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "merge_snapshot",
+    "observe",
+    "profiled",
+    "read_jsonl",
+    "render_summary",
+    "span",
+    "summarize",
+    "timed_span",
+    "write_jsonl",
+]
+
+
+@contextmanager
+def profiled(label: str, out=None, cache_dir=None, echo=print):
+    """Record one profiled run and flush it to sinks on exit.
+
+    Enables telemetry, opens a root span named ``label``, and yields the
+    live recorder.  On exit (even via an exception) the recorder is
+    snapshotted and disabled, the JSONL export is written to ``out``
+    (``--telemetry-out``) and/or persisted under
+    ``<cache_dir>/telemetry/<label>-<unix>.jsonl`` next to the store
+    artifacts, and the summary table is printed through ``echo``
+    (pass ``echo=None`` to silence it).
+    """
+    rec = enable()
+    try:
+        with rec.span(label):
+            yield rec
+    finally:
+        snap = rec.snapshot()
+        disable()
+        paths = []
+        if out:
+            paths.append(write_jsonl(snap, out, label=label))
+        if cache_dir:
+            stamp = int(snap.get("wall0") or time.time())
+            paths.append(write_jsonl(
+                snap, Path(cache_dir) / "telemetry" / f"{label}-{stamp}.jsonl",
+                label=label))
+        if echo is not None:
+            echo(render_summary(snap))
+            for p in paths:
+                echo(f"[telemetry written to {p}]")

@@ -1,0 +1,158 @@
+"""``repro-experiment stats`` subcommands: inspect telemetry files.
+
+::
+
+    repro-experiment stats show run.jsonl [--max-depth N]
+    repro-experiment stats summarize run.jsonl [--json] [--store DIR]
+    repro-experiment stats diff before.jsonl after.jsonl
+
+``show`` renders the span tree; ``summarize`` reports cache hit rates,
+the per-phase time breakdown, hot spans, and (with ``--store``) store
+growth; ``diff`` compares two runs' summaries side by side — the tool
+for checking that a change moved a hit rate or a phase the right way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .sinks import read_jsonl, render_summary, summarize
+
+__all__ = ["stats_main", "build_stats_parser"]
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment stats",
+        description="Inspect telemetry JSONL files written by --profile / "
+                    "--telemetry-out runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_show = sub.add_parser("show", help="render the span tree")
+    p_show.add_argument("file", help="telemetry JSONL file")
+    p_show.add_argument("--max-depth", type=int, default=None, metavar="N",
+                        help="truncate the tree below this depth")
+
+    p_sum = sub.add_parser(
+        "summarize", help="hit rates, phase breakdown, hot spans")
+    p_sum.add_argument("file", help="telemetry JSONL file")
+    p_sum.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output")
+    p_sum.add_argument("--store", default=None, metavar="DIR",
+                       help="result store to report size/growth for")
+
+    p_diff = sub.add_parser("diff", help="compare two telemetry files")
+    p_diff.add_argument("before", help="baseline telemetry JSONL file")
+    p_diff.add_argument("after", help="comparison telemetry JSONL file")
+    return parser
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _cmd_show(args) -> int:
+    snap = read_jsonl(args.file)
+    spans = snap["spans"]
+    if not spans:
+        print("[no spans recorded]")
+        return 0
+    children: "dict[int, list]" = {}
+    for sp in spans:
+        children.setdefault(sp[1], []).append(sp)
+    for sibs in children.values():
+        sibs.sort(key=lambda s: s[3])
+
+    def render(parent: int, depth: int) -> None:
+        if args.max_depth is not None and depth > args.max_depth:
+            return
+        for sid, _, name, start, dur, attrs in children.get(parent, ()):
+            extra = ""
+            if attrs:
+                extra = "  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+            print(f"{'  ' * depth}{name}  [{_fmt_s(dur)} @ "
+                  f"+{_fmt_s(start)}]{extra}")
+            render(sid, depth + 1)
+
+    render(-1, 0)
+    return 0
+
+
+def _store_growth(store_dir: str) -> dict:
+    from repro.runtime.store import ResultStore
+
+    entries = list(ResultStore(store_dir).entries())
+    return {
+        "n_records": len(entries),
+        "json_bytes": sum(e.json_bytes for e in entries),
+        "npz_bytes": sum(e.npz_bytes for e in entries),
+        "total_bytes": sum(e.total_bytes for e in entries),
+    }
+
+
+def _cmd_summarize(args) -> int:
+    snap = read_jsonl(args.file)
+    store = _store_growth(args.store) if args.store else None
+    if args.as_json:
+        payload = summarize(snap)
+        if store is not None:
+            payload["store"] = store
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(render_summary(snap))
+    if store is not None:
+        print(f"  store: {store['n_records']} record(s), "
+              f"{store['total_bytes']} bytes "
+              f"({store['json_bytes']} json + {store['npz_bytes']} npz)")
+    return 0
+
+
+def _fmt_rate(rate: "float | None") -> str:
+    return "--" if rate is None else f"{rate * 100:.1f}%"
+
+
+def _cmd_diff(args) -> int:
+    before = summarize(read_jsonl(args.before))
+    after = summarize(read_jsonl(args.after))
+    b_total = before["phase_breakdown"]["total_s"]
+    a_total = after["phase_breakdown"]["total_s"]
+    print(f"{'':<28} {'before':>12} {'after':>12}")
+    speed = f"  ({b_total / a_total:.2f}x)" if a_total else ""
+    print(f"{'total':<28} {_fmt_s(b_total):>12} {_fmt_s(a_total):>12}{speed}")
+    for key in ("dag_cache_hit_rate", "store_hit_rate",
+                "campaign_cache_hit_rate"):
+        label = key.replace("_", " ")
+        print(f"{label:<28} {_fmt_rate(before[key]):>12} "
+              f"{_fmt_rate(after[key]):>12}")
+    names = list(before["phase_breakdown"]["phases"])
+    names += [n for n in after["phase_breakdown"]["phases"] if n not in names]
+    for name in names:
+        b = before["phase_breakdown"]["phases"].get(name, {}).get("total_s")
+        a = after["phase_breakdown"]["phases"].get(name, {}).get("total_s")
+        print(f"{name:<28} "
+              f"{_fmt_s(b) if b is not None else '--':>12} "
+              f"{_fmt_s(a) if a is not None else '--':>12}")
+    counters = sorted(set(before["counters"]) | set(after["counters"]))
+    for name in counters:
+        b = before["counters"].get(name, 0)
+        a = after["counters"].get(name, 0)
+        if b != a:
+            print(f"{name:<28} {b:>12g} {a:>12g}")
+    return 0
+
+
+def stats_main(argv: "list[str] | None" = None) -> int:
+    args = build_stats_parser().parse_args(argv)
+    return {"show": _cmd_show, "summarize": _cmd_summarize,
+            "diff": _cmd_diff}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(stats_main())

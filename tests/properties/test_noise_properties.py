@@ -74,6 +74,13 @@ def test_sample_mean_tracks_declared_mean(model):
         # too few positive draws for the mean to be estimable at this n;
         # the sample standard error is then meaningless too.
         return
+    if isinstance(model, BimodalNoise) and n * model.spike_probability < 30:
+        # The spike term can dominate the declared mean while the expected
+        # number of observed spikes at this n is ~0 (e.g. a subnormal base
+        # mean with spike_probability 1e-6): the sample then consists of
+        # nonzero base draws only, and neither the sample mean nor its
+        # standard error carries any information about the spikes.
+        return
     # Statistically principled bound: the sample mean must sit within
     # ~6 standard errors of the declared mean (heavy-tailed draws with
     # tiny means legitimately exceed any fixed relative tolerance).

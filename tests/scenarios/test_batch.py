@@ -142,6 +142,65 @@ class TestBatchedCampaignBitIdentity:
         assert runtime["total_runtime"] == direct.data["runtime"]["total_runtime"]
 
 
+class TestTelemetryDeterminism:
+    """Profiling is pure observation: enabling telemetry never changes
+    engine outputs or the bytes the store persists."""
+
+    @pytest.fixture
+    def profiled(self):
+        from repro import telemetry
+
+        telemetry.enable()
+        yield telemetry
+        telemetry.disable()
+
+    def test_profiled_sweep_store_records_byte_identical(
+            self, tmp_path, profiled):
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        plain_store = ResultStore(tmp_path / "plain")
+        plain = run_scenario_sweep(spec, engine="dag", store=plain_store)
+        prof_store = ResultStore(tmp_path / "profiled")
+        assert profiled.enabled()
+        prof = run_scenario_sweep(spec, engine="dag", store=prof_store)
+        assert prof.campaign.values() == plain.campaign.values()
+        assert prof.points == plain.points
+        plain_files = {p.name: p.read_bytes()
+                       for p in sorted((tmp_path / "plain").rglob("*.json"))}
+        prof_files = {p.name: p.read_bytes()
+                      for p in sorted((tmp_path / "profiled").rglob("*.json"))}
+        assert plain_files.keys() == prof_files.keys()
+        assert plain_files == prof_files
+
+    def test_profiled_parallel_sweep_matches_plain_serial(self, profiled):
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        prof = run_scenario_sweep(spec, jobs=2, batch=True)
+        profiled.disable()
+        plain = run_scenario_sweep(spec, jobs=1, batch=False)
+        assert prof.campaign.values() == plain.campaign.values()
+
+    def test_profiled_engine_outputs_bitwise_equal(self, profiled):
+        spec = load_bundled_scenario(
+            "meggie_bimodal_rendezvous_campaign").without_sweep()
+        prof = run_scenario(spec, seed=7)
+        profiled.disable()
+        plain = run_scenario(spec, seed=7)
+        assert np.array_equal(prof.timing.completion, plain.timing.completion)
+        assert prof.data == plain.data
+
+    def test_profiled_warm_read_hits_are_pure(self, tmp_path, profiled):
+        """Counting store hits must not perturb the cached values."""
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        store = ResultStore(tmp_path / "store")
+        profiled.disable()
+        cold = run_scenario_sweep(spec, store=store)
+        profiled.enable()
+        warm = run_scenario_sweep(spec, store=store)
+        rec = profiled.current_recorder()
+        assert rec.counters["store.get.hits"] == len(warm.campaign)
+        assert warm.campaign.n_cached == len(warm.campaign)
+        assert warm.campaign.values() == cold.campaign.values()
+
+
 class TestBatchExecution:
     def test_execute_matches_scenario_task_values(self):
         tasks = sweep_tasks()

@@ -265,7 +265,17 @@ class TestStructureCache:
         assert dag_cache_info()["size"] == 1
         clear_dag_cache()
         assert dag_cache_info() == {"size": 0, "max_size": 16,
-                                    "hits": 0, "misses": 0}
+                                    "hits": 0, "misses": 0, "evictions": 0}
+
+    def test_lru_eviction_is_counted(self):
+        clear_dag_cache()
+        for n_steps in range(2, 2 + 18):  # 18 shapes vs max_size 16
+            cfg = make_cfg(n_ranks=4, n_steps=n_steps)
+            build_dag(build_lockstep_program(cfg, build_exec_times(cfg)))
+        info = dag_cache_info()
+        assert info["size"] == info["max_size"] == 16
+        assert info["evictions"] == 2
+        assert info["misses"] == 18
 
     def test_cached_structure_is_duration_independent(self):
         """A cache hit must not leak the first draw's COMP durations."""

@@ -1,0 +1,13 @@
+"""Telemetry test isolation: the recorder is module-global state."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,153 @@
+"""Telemetry sinks: JSONL round-trips and summary analysis math."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry.sinks import (
+    phase_breakdown,
+    read_jsonl,
+    render_summary,
+    root_span,
+    span_name_table,
+    summarize,
+    write_jsonl,
+)
+
+
+def recorded_snapshot():
+    """A small but fully populated run, recorded for real."""
+    rec = telemetry.enable()
+    with telemetry.span("campaign.run", n_tasks=2):
+        with telemetry.span("scenario.prepare"):
+            pass
+        with telemetry.span("scenario.execute", engine="dag"):
+            pass
+    telemetry.count("dag.cache.hits", 3)
+    telemetry.count("dag.cache.misses", 1)
+    telemetry.gauge("executor.jobs", 2)
+    telemetry.observe("executor.queue_wait_s", 0.25)
+    telemetry.observe("executor.block_size", 4)
+    snap = rec.snapshot()
+    telemetry.disable()
+    return snap
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        snap = recorded_snapshot()
+        path = write_jsonl(snap, tmp_path / "run.jsonl", label="test.run")
+        back = read_jsonl(path)
+        assert back["meta"]["label"] == "test.run"
+        assert back["meta"]["version"] == snap["version"]
+        assert back["counters"] == snap["counters"]
+        assert back["gauges"] == snap["gauges"]
+        assert back["hists"] == snap["hists"]
+        assert [s[:3] for s in back["spans"]] == \
+            [s[:3] for s in snap["spans"]]
+        # file starts are normalized to the recorder epoch
+        starts = [s[3] for s in back["spans"]]
+        assert min(starts) >= 0.0
+        assert max(starts) < 60.0
+
+    def test_meta_line_comes_first(self, tmp_path):
+        path = write_jsonl(recorded_snapshot(), tmp_path / "run.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+
+    def test_unknown_record_types_are_skipped(self, tmp_path):
+        """The format contract: readers ignore record types they don't
+        know, so future writers can extend the schema."""
+        path = write_jsonl(recorded_snapshot(), tmp_path / "run.jsonl")
+        with path.open("a") as fh:
+            fh.write(json.dumps({"type": "flamegraph", "data": [1]}) + "\n")
+            fh.write("\n")  # blank lines too
+        back = read_jsonl(path)
+        assert len(back["spans"]) == 3
+        assert back["counters"]["dag.cache.hits"] == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_jsonl(recorded_snapshot(),
+                           tmp_path / "deep" / "nested" / "run.jsonl")
+        assert path.exists()
+
+
+class TestAnalysis:
+    def synthetic_snapshot(self):
+        """Hand-built spans with exact durations for breakdown math."""
+        return {
+            "t0": 0.0,
+            "spans": [
+                # (id, parent, name, start, duration, attrs)
+                (0, -1, "campaign.run", 0.0, 10.0, None),
+                (1, 0, "scenario.prepare", 0.0, 2.0, None),
+                (2, 0, "scenario.execute", 2.0, 3.0, None),
+                (3, 0, "scenario.execute", 5.0, 4.0, None),
+                (4, 2, "engine.dag.propagate", 2.5, 1.0, None),
+                (5, -1, "stray.root", 0.0, 0.5, None),
+            ],
+            "counters": {"dag.cache.hits": 9, "dag.cache.misses": 1,
+                         "store.get.misses": 4},
+            "gauges": {},
+            "hists": {},
+        }
+
+    def test_root_span_is_longest_parentless(self):
+        assert root_span(self.synthetic_snapshot())[2] == "campaign.run"
+        assert root_span({"spans": []}) is None
+
+    def test_phase_breakdown_aggregates_direct_children(self):
+        pb = phase_breakdown(self.synthetic_snapshot())
+        assert pb["root"] == "campaign.run"
+        assert pb["total_s"] == 10.0
+        assert pb["phases"]["scenario.execute"] == {
+            "count": 2, "total_s": 7.0, "share": 0.7}
+        assert pb["phases"]["scenario.prepare"]["total_s"] == 2.0
+        # grandchildren and stray roots are not phases
+        assert "engine.dag.propagate" not in pb["phases"]
+        assert "stray.root" not in pb["phases"]
+        assert pb["coverage"] == 0.9
+
+    def test_phases_sorted_heaviest_first(self):
+        pb = phase_breakdown(self.synthetic_snapshot())
+        assert list(pb["phases"]) == ["scenario.execute", "scenario.prepare"]
+
+    def test_span_name_table(self):
+        rows = span_name_table(self.synthetic_snapshot())
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["scenario.execute"]["count"] == 2
+        assert by_name["scenario.execute"]["total_s"] == 7.0
+        assert by_name["scenario.execute"]["max_s"] == 4.0
+        assert rows[0]["name"] == "campaign.run"  # heaviest first
+
+    def test_summarize_hit_rates(self):
+        s = summarize(self.synthetic_snapshot())
+        assert s["dag_cache_hit_rate"] == 0.9
+        assert s["store_hit_rate"] == 0.0  # misses only: rate 0, not None
+        assert s["campaign_cache_hit_rate"] is None  # no counters at all
+        assert s["n_spans"] == 6
+
+    def test_summarize_empty_snapshot(self):
+        s = summarize({"spans": [], "counters": {}, "gauges": {},
+                       "hists": {}})
+        assert s["phase_breakdown"]["coverage"] is None
+        assert s["dag_cache_hit_rate"] is None
+
+
+class TestRenderSummary:
+    def test_render_smoke(self):
+        out = render_summary(recorded_snapshot())
+        assert "telemetry summary" in out
+        assert "campaign.run" in out
+        assert "dag" in out and "75.0%" in out  # 3 hits / 4
+        assert "scenario.execute" in out
+
+    def test_non_time_histograms_render_unitless(self):
+        """Only the `_s` suffix means seconds — a block-size histogram
+        must not be rendered as a duration."""
+        out = render_summary(recorded_snapshot())
+        block_line = next(line for line in out.splitlines()
+                          if "executor.block_size" in line)
+        assert "ms" not in block_line and "us" not in block_line
+        wait_line = next(line for line in out.splitlines()
+                         if "executor.queue_wait_s" in line)
+        assert "ms" in wait_line or "s" in wait_line
