@@ -25,6 +25,10 @@ Usage::
     repro-experiment stats summarize run.jsonl   # hit rates, phase times
     repro-experiment stats diff a.jsonl b.jsonl  # compare two runs
 
+    repro-experiment runs ls --cache-dir ~/.cache/repro    # run ledger
+    repro-experiment runs show RUN_ID --cache-dir ~/.cache/repro
+    repro-experiment runs tail -n 5 --cache-dir ~/.cache/repro
+
     repro-experiment golden --check       # verify the golden-trace corpus
     repro-experiment golden --regen       # regenerate tests/golden/
 
@@ -77,21 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
             "('repro-experiment scenario --help')."
         ),
         epilog=(
-            "The 'scenario', 'report', 'store', and 'stats' commands "
-            "delegate to their own subcommands: repro-experiment scenario "
-            "{list,validate,run,sweep}, repro-experiment report "
+            "The 'scenario', 'report', 'store', 'stats', and 'runs' "
+            "commands delegate to their own subcommands: repro-experiment "
+            "scenario {list,validate,run,sweep}, repro-experiment report "
             "{list,validate,run}, repro-experiment store {ls,gc}, "
-            "repro-experiment stats {show,summarize,diff} ..."
+            "repro-experiment stats {show,summarize,diff}, "
+            "repro-experiment runs {ls,show,tail} ..."
         ),
     )
     parser.add_argument(
         "experiment",
         choices=[*sorted(EXPERIMENTS), "all", "list", "scenario", "report",
-                 "store", "stats", "golden"],
+                 "store", "stats", "runs", "golden"],
         help=(
             "experiment id (paper figure), 'all', 'list', 'scenario' / "
-            "'report' / 'store' / 'stats' (see epilog), or 'golden' "
-            "(golden-trace corpus)"
+            "'report' / 'store' / 'stats' / 'runs' (see epilog), or "
+            "'golden' (golden-trace corpus)"
         ),
     )
     parser.add_argument(
@@ -163,13 +168,18 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.telemetry.cli import stats_main
 
         return stats_main(argv[1:])
+    if argv and argv[0] == "runs":
+        from repro.obs.cli import runs_main
+
+        return runs_main(argv[1:])
     if argv and argv[0] == "golden":
         from repro.golden import golden_main
 
         return golden_main(argv[1:])
 
     args = build_parser().parse_args(argv)
-    if args.experiment in ("scenario", "report", "store", "stats", "golden"):
+    if args.experiment in ("scenario", "report", "store", "stats", "runs",
+                           "golden"):
         # Reachable only when the subcommand is not the first token (e.g.
         # 'repro-experiment --seed 3 scenario'); its own arguments cannot
         # be recovered once argparse consumed the flags.

@@ -1,0 +1,44 @@
+"""Live run observability: event bus, progress rendering, run ledger.
+
+Three cooperating pieces, layered over (not into) the simulation code:
+
+- :mod:`repro.obs.events` — the structured lifecycle event bus.
+  Emission sites in the executor and runners publish typed events
+  (``run.start``, ``task.done``, ``block.fallback``, …) through a
+  module-level fast path that costs one ``None`` check when no consumer
+  is attached — the same discipline as the telemetry recorder.
+- :mod:`repro.obs.progress` — a TTY-aware single-line renderer
+  (throughput, cache-hit rate, EWMA-based ETA) subscribed to the bus.
+- :mod:`repro.obs.ledger` / :mod:`repro.obs.session` — per-run
+  provenance records under ``<cache-dir>/runs/`` and the
+  :func:`observe_run` context manager that wires a whole CLI run
+  together.  ``repro-experiment runs ls|show|tail`` queries the ledger.
+
+Observability is pure: enabling it never changes engine outputs or the
+bytes the store persists (enforced by ``tests/scenarios/test_batch.py``
+and ``benchmarks/bench_obs.py``).
+"""
+
+from repro.obs import events
+from repro.obs.events import EVENT_VERSION, EventBus, KNOWN_EVENTS
+from repro.obs.ledger import (
+    RUN_RECORD_VERSION,
+    RunLedger,
+    RunTracker,
+    render_run_summary,
+)
+from repro.obs.progress import ProgressRenderer
+from repro.obs.session import observe_run
+
+__all__ = [
+    "EVENT_VERSION",
+    "EventBus",
+    "KNOWN_EVENTS",
+    "ProgressRenderer",
+    "RUN_RECORD_VERSION",
+    "RunLedger",
+    "RunTracker",
+    "events",
+    "observe_run",
+    "render_run_summary",
+]

@@ -1,0 +1,158 @@
+"""``repro-experiment runs`` subcommands: query the run ledger.
+
+::
+
+    repro-experiment runs ls --cache-dir DIR [--json] [--name N] [--status S]
+    repro-experiment runs show RUN_ID --cache-dir DIR [--json]
+    repro-experiment runs tail --cache-dir DIR [-n N] [--json]
+
+``ls`` lists every recorded run (filterable by scenario/report name and
+status); ``show`` reconstructs one run's full provenance — spec key,
+seed root, engine, cache economics, failure summaries, telemetry file,
+artifact paths — from its ledger record (unambiguous id prefixes work);
+``tail`` shows the most recent records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs.ledger import RunLedger
+
+__all__ = ["runs_main", "build_runs_parser"]
+
+
+def build_runs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment runs",
+        description="Query the run ledger written under <cache-dir>/runs/.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list recorded runs")
+    p_ls.add_argument("--cache-dir", required=True, metavar="DIR",
+                      help="cache directory holding the runs/ ledger")
+    p_ls.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable output")
+    p_ls.add_argument("--name", default=None, metavar="NAME",
+                      help="only runs of this scenario/report name")
+    p_ls.add_argument("--status", default=None, choices=["ok", "failed"],
+                      help="only runs with this status")
+
+    p_show = sub.add_parser("show", help="full provenance of one run")
+    p_show.add_argument("run_id", metavar="RUN_ID",
+                        help="run id (unambiguous prefixes work)")
+    p_show.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="cache directory holding the runs/ ledger")
+    p_show.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw ledger record")
+
+    p_tail = sub.add_parser("tail", help="most recent runs")
+    p_tail.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="cache directory holding the runs/ ledger")
+    p_tail.add_argument("-n", type=int, default=10, metavar="N",
+                        help="how many records (default 10)")
+    p_tail.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    return parser
+
+
+def _fmt_when(unix: "float | None") -> str:
+    if unix is None:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(unix)) + "Z"
+
+
+def _fmt_rate(rate: "float | None") -> str:
+    return "-" if rate is None else f"{rate * 100:.0f}%"
+
+
+def _ls_line(r: dict) -> str:
+    return (f"{r['id']:<34} {r['status']:<6} {r.get('kind') or '-':<14} "
+            f"{r.get('name') or '-':<28} "
+            f"{r.get('n_tasks', 0):>5} task(s) "
+            f"cache {_fmt_rate(r.get('cache_hit_rate')):>4}  "
+            f"{r.get('wall_s', 0.0):>7.2f}s  "
+            f"{_fmt_when(r.get('started_unix'))}")
+
+
+def _print_records(records: "list[dict]", as_json: bool, root) -> int:
+    if as_json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"[no runs recorded in {root}]")
+        return 0
+    for r in records:
+        print(_ls_line(r))
+    print(f"[{len(records)} run(s) in {root}]")
+    return 0
+
+
+def _cmd_ls(args) -> int:
+    ledger = RunLedger(args.cache_dir)
+    records = list(ledger.records())
+    if args.name is not None:
+        records = [r for r in records if r.get("name") == args.name]
+    if args.status is not None:
+        records = [r for r in records if r.get("status") == args.status]
+    return _print_records(records, args.as_json, ledger.root)
+
+
+def _cmd_tail(args) -> int:
+    ledger = RunLedger(args.cache_dir)
+    return _print_records(ledger.tail(args.n), args.as_json, ledger.root)
+
+
+def _cmd_show(args) -> int:
+    ledger = RunLedger(args.cache_dir)
+    try:
+        r = ledger.find(args.run_id)
+    except KeyError as exc:
+        print(f"runs error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(r, indent=2, sort_keys=True))
+        return 0
+    print(f"=== run {r['id']} ===")
+    rows = [
+        ("status", r.get("status")),
+        ("kind", r.get("kind")),
+        ("name", r.get("name")),
+        ("engine", r.get("engine")),
+        ("jobs", r.get("jobs")),
+        ("spec key", r.get("spec_key")),
+        ("seed root", r.get("seed_root")),
+        ("tasks", r.get("n_tasks")),
+        ("cached", r.get("n_cached")),
+        ("executed", r.get("n_executed")),
+        ("failed", r.get("n_failed")),
+        ("cache hit rate", _fmt_rate(r.get("cache_hit_rate"))),
+        ("wall time", f"{r.get('wall_s', 0.0):.3f}s"),
+        ("started", _fmt_when(r.get("started_unix"))),
+        ("finished", _fmt_when(r.get("finished_unix"))),
+        ("events", r.get("n_events")),
+        ("telemetry", r.get("telemetry") or "-"),
+    ]
+    for label, value in rows:
+        print(f"  {label:<16} {value if value is not None else '-'}")
+    artifacts = r.get("artifacts") or []
+    print(f"  {'artifacts':<16} {len(artifacts)}")
+    for path in artifacts:
+        print(f"    {path}")
+    for failure in r.get("failures") or []:
+        print(f"  failure: {failure.splitlines()[0]}")
+    return 0
+
+
+def runs_main(argv: "list[str] | None" = None) -> int:
+    args = build_runs_parser().parse_args(argv)
+    return {"ls": _cmd_ls, "show": _cmd_show,
+            "tail": _cmd_tail}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(runs_main())

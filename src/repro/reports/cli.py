@@ -74,6 +74,10 @@ def build_report_parser() -> argparse.ArgumentParser:
                        help="write the run's telemetry JSONL here "
                             "(implies --profile); inspect with "
                             "'repro-experiment stats'")
+    p_run.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="live progress line on stderr (default: auto "
+                            "when stderr is a TTY)")
     return parser
 
 
@@ -136,26 +140,32 @@ def _cmd_validate(args) -> int:
 def _cmd_run(args) -> int:
     spec = resolve_report(args.report)
     compiled = compile_report(spec)
-    if args.profile or args.telemetry_out:
-        from repro import telemetry
+    from repro.obs import observe_run
 
-        profiled = telemetry.profiled("report.run", out=args.telemetry_out,
-                                      cache_dir=args.cache_dir)
-    else:
-        from contextlib import nullcontext
+    with observe_run("report.run", spec.name, cache_dir=args.cache_dir,
+                     progress=args.progress) as tracker:
+        if args.profile or args.telemetry_out:
+            from repro import telemetry
 
-        profiled = nullcontext()
-    with profiled:
-        result = run_report(
-            compiled, store=_store(args.cache_dir), jobs=args.jobs,
-            batch=not args.no_batch,
-        )
-    print(result.render())
-    if args.out is not None:
-        from repro.reports.artifacts import write_artifacts
+            profiled = telemetry.profiled(
+                "report.run", out=args.telemetry_out,
+                cache_dir=args.cache_dir, on_write=tracker.set_telemetry)
+        else:
+            from contextlib import nullcontext
 
-        for path in write_artifacts(result, args.out):
-            print(f"[wrote {path}]")
+            profiled = nullcontext()
+        with profiled:
+            result = run_report(
+                compiled, store=_store(args.cache_dir), jobs=args.jobs,
+                batch=not args.no_batch,
+            )
+        print(result.render())
+        if args.out is not None:
+            from repro.reports.artifacts import write_artifacts
+
+            for path in write_artifacts(result, args.out):
+                tracker.add_artifact(path)
+                print(f"[wrote {path}]")
     return 0
 
 

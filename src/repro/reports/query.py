@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.obs.events import enabled as events_enabled
 from repro.runtime.spec import RunSpec
 from repro.runtime.store import ResultStore
 
@@ -73,6 +74,14 @@ def fetch_campaign(
     specs = tuple(specs)
     values, missing = load_cached(store, specs)
     if not missing:
+        # The fully-cached path bypasses run_campaign (and its event
+        # emission), so publish the hits here — a warm report still
+        # streams one terminal event per task.
+        if events_enabled():
+            from repro.obs import events
+
+            for spec in specs:
+                events.emit("task.cache_hit", index=spec.index)
         return CampaignFetch(values=tuple(values), n_loaded=len(specs),
                              n_executed=0)
 

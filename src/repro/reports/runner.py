@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.obs import events
 from repro.reports.compiler import SCENARIO_COLUMN, CompiledReport
 from repro.reports.errors import ReportError
 from repro.reports.kernels import MetricContext
@@ -155,7 +156,15 @@ def run_report(
     # group key -> (group dict, {draw column -> list of sample arrays})
     groups: "dict[tuple, tuple[dict, dict]]" = {}
     n_tasks = n_loaded = n_executed = 0
+    owns_run = events.enabled() and not events.in_run()
+    if owns_run:
+        events.emit("run.start", kind="report.run", name=report.spec.name,
+                    n_tasks=sum(t.sweep.size for t in report.targets),
+                    jobs=jobs)
     for target in report.targets:
+        if owns_run:
+            events.emit("report.phase", phase="fetch",
+                        scenario=target.scenario.name)
         with telemetry.span("report.fetch", scenario=target.scenario.name):
             tasks = target.sweep.tasks()
             fetch = fetch_campaign(
@@ -167,6 +176,10 @@ def run_report(
         n_executed += fetch.n_executed
 
         draws = target.draws_per_point
+        if owns_run:
+            events.emit("report.phase", phase="metrics",
+                        scenario=target.scenario.name,
+                        n_points=len(target.grid.points))
         with telemetry.span("report.metrics", scenario=target.scenario.name,
                             n_points=len(target.grid.points)):
             for pi, (overrides, compiled_point) in enumerate(
@@ -206,6 +219,8 @@ def run_report(
                         samples.setdefault(column, []).append(arr)
 
     rows = []
+    if owns_run:
+        events.emit("report.phase", phase="aggregate", n_groups=len(groups))
     with telemetry.span("report.aggregate", n_groups=len(groups)):
         for group, samples in groups.values():
             pooled = {column: np.concatenate(arrays)
@@ -219,6 +234,9 @@ def run_report(
             rows.append(ReportRow(group=group, n_draws=n_draws,
                                   values=values, draws=pooled))
 
+    if owns_run:
+        events.emit("run.finish", status="ok", n_tasks=n_tasks,
+                    n_cached=n_loaded, n_executed=n_executed, n_failed=0)
     return ReportResult(
         report=report,
         rows=tuple(rows),

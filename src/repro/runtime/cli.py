@@ -7,8 +7,9 @@
 
 ``ls`` lists every cached task result with its spec key, owning task
 function, derived seed, and on-disk size.  ``gc`` prunes unreferenced
-blobs — orphaned NPZ side-cars, unreadable/torn JSON records, and temp
-files abandoned by interrupted writes — without ever touching a valid
+blobs — orphaned NPZ side-cars, unreadable/torn JSON records, temp files
+abandoned by interrupted writes, telemetry JSONL no ledger record
+references, and torn run-ledger records — without ever touching a valid
 record; until now the cache could only grow.
 """
 
@@ -91,7 +92,9 @@ def _cmd_gc(args) -> int:
     verb = "would remove" if args.dry_run else "removed"
     print(f"[{verb} {stats.n_removed} file(s): {stats.n_orphan_npz} orphan "
           f"NPZ, {stats.n_corrupt} torn record(s), {stats.n_tmp} temp "
-          f"file(s); {_human_bytes(stats.bytes_freed)} freed]")
+          f"file(s), {stats.n_orphan_telemetry} orphan telemetry, "
+          f"{stats.n_torn_runs} torn run record(s); "
+          f"{_human_bytes(stats.bytes_freed)} freed]")
     return 0
 
 

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro import telemetry
+from repro.obs import events
 from repro.runtime.spec import RunSpec
 from repro.runtime.store import ResultStore
 
@@ -188,6 +189,7 @@ def _execute(spec: RunSpec) -> "tuple[str, Any, float]":
     pool machinery reports them anyway.
     """
     status, payload = "ok", None
+    events.emit("task.start", index=spec.index)
     with telemetry.timed_span("executor.task", fn=spec.fn) as sp:
         try:
             payload = spec.call()
@@ -227,6 +229,10 @@ def _execute_block(
     if failure is not None:
         warnings.warn(failure, RuntimeWarning, stacklevel=3)
         telemetry.count("executor.batch_fallbacks")
+        # The failed block emitted no per-task events (it never started
+        # any task individually), so the fallback's task.start stream
+        # counts each task exactly once.
+        events.emit("block.fallback", n_tasks=len(unit))
         return [_execute(spec) for spec in unit]
     telemetry.observe("executor.block_size", len(unit))
     per_task = sp.duration / len(unit)
@@ -238,23 +244,30 @@ def _execute_unit(
     batcher: "TaskBatcher | None",
     profile: bool = False,
     submit_t: "float | None" = None,
-) -> "tuple[list[tuple[str, Any, float]], dict | None]":
+    observe: bool = False,
+) -> "tuple[list[tuple[str, Any, float]], dict | None, list | None]":
     """Run one unit (a single task or a batched block) plus its telemetry.
 
-    Returns ``(outcomes, snapshot)`` where ``snapshot`` is the unit's own
-    telemetry.  The pool backend passes ``profile=True`` into its worker
-    processes, each of which records into a fresh recorder of its own and
-    ships the snapshot back through the result channel; ``enable()`` here
-    also discards the stale recorder copy a fork-started worker inherits
-    from a profiling parent.  The serial backend records straight into
-    the caller's recorder and returns ``None``.  ``submit_t`` is the
-    parent's ``perf_counter()`` at submission: ``perf_counter`` is
-    system-wide monotonic on Linux, so the difference is the unit's pool
-    queue wait.
+    Returns ``(outcomes, snapshot, events)`` where ``snapshot`` is the
+    unit's own telemetry and ``events`` its drained lifecycle events.
+    The pool backend passes ``profile=True`` / ``observe=True`` into its
+    worker processes, each of which records into a fresh recorder/bus of
+    its own and ships the data back through the result channel;
+    ``enable()`` here also discards the stale recorder/bus copy a
+    fork-started worker inherits from a profiling parent.  The serial
+    backend records straight into the caller's recorder and bus and
+    returns ``None`` for both.  ``submit_t`` is the parent's
+    ``perf_counter()`` at submission: ``perf_counter`` is system-wide
+    monotonic on Linux, so the difference is the unit's pool queue wait.
     """
     owns = profile
     if owns:
         telemetry.enable()
+    owns_events = observe
+    if owns_events:
+        # in_run: the worker executes one unit of the parent's run, so
+        # task code must not open a nested run lifecycle of its own.
+        events.enable(in_run=True)
     try:
         if submit_t is not None:
             telemetry.observe("executor.queue_wait_s",
@@ -265,10 +278,11 @@ def _execute_unit(
             outcomes = _execute_block(unit, batcher)
     finally:
         # Workers are reused across units: always release an owned
-        # recorder, or an aborting unit would leave it live (and growing)
-        # for every later unit this process executes.
+        # recorder/bus, or an aborting unit would leave it live (and
+        # growing) for every later unit this process executes.
         snap = telemetry.disable().snapshot() if owns else None
-    return outcomes, snap
+        drained = events.disable().drain() if owns_events else None
+    return outcomes, snap, drained
 
 
 def _plan_units(
@@ -301,6 +315,18 @@ def _as_task_result(spec: RunSpec, status: str, payload: Any,
             )
         return TaskResult(spec=spec, value=payload, duration=duration)
     return TaskResult(spec=spec, error=str(payload), duration=duration)
+
+
+def _emit_dispatch(unit: "tuple[tuple[int, RunSpec], ...]") -> None:
+    """Publish a unit's submission: one ``task.submit`` per task, plus a
+    ``block.dispatch`` header for multi-task blocks."""
+    if not events.enabled():
+        return
+    if len(unit) > 1:
+        events.emit("block.dispatch", n_tasks=len(unit),
+                    first=unit[0][1].index)
+    for _, spec in unit:
+        events.emit("task.submit", index=spec.index)
 
 
 def run_campaign(
@@ -347,34 +373,56 @@ def run_campaign(
         slots[pos] = result
         if store is not None and result.ok and not result.cached:
             store.put(result.spec.key, result.value, spec=result.spec.describe())
+        # Terminal lifecycle events carry only the task index: payloads
+        # with durations or tracebacks would break the event-identity
+        # determinism contract (repro.obs.events).
+        if result.cached:
+            events.emit("task.cache_hit", index=result.index)
+        elif result.ok:
+            events.emit("task.done", index=result.index)
+        else:
+            events.emit("task.failed", index=result.index)
         if on_result is not None:
             on_result(result)
 
-    # ``elapsed`` is the span's wall clock — the same two perf_counter
-    # reads the pre-telemetry bookkeeping made, recorded only if a
-    # profiling run is live.
-    with telemetry.timed_span("campaign.run", n_tasks=len(specs),
-                              jobs=jobs) as campaign_span:
-        pending: "list[tuple[int, RunSpec]]" = []
-        for pos, spec in enumerate(specs):
-            cached = store.get(spec.key) if store is not None else None
-            if cached is not None:
-                telemetry.count("campaign.cache.hits")
-                finish(pos, TaskResult(spec=spec, value=cached, cached=True))
-            else:
-                if store is not None:
-                    telemetry.count("campaign.cache.misses")
-                pending.append((pos, spec))
+    # A campaign is always *inside* a run: mark the bus so task code
+    # that would own a run lifecycle at top level (run_scenario inside
+    # scenario_task) stays silent — even when run_campaign is driven
+    # directly without an enclosing runner.
+    bus = events.current_bus()
+    if bus is not None:
+        bus.mark_in_run()
+    try:
+        # ``elapsed`` is the span's wall clock — the same two perf_counter
+        # reads the pre-telemetry bookkeeping made, recorded only if a
+        # profiling run is live.
+        with telemetry.timed_span("campaign.run", n_tasks=len(specs),
+                                  jobs=jobs) as campaign_span:
+            pending: "list[tuple[int, RunSpec]]" = []
+            for pos, spec in enumerate(specs):
+                cached = store.get(spec.key) if store is not None else None
+                if cached is not None:
+                    telemetry.count("campaign.cache.hits")
+                    finish(pos, TaskResult(spec=spec, value=cached,
+                                           cached=True))
+                else:
+                    if store is not None:
+                        telemetry.count("campaign.cache.misses")
+                    pending.append((pos, spec))
 
-        units = _plan_units(pending, batcher)
-        if jobs == 1 or len(units) <= 1:
-            for unit in units:
-                outcomes, _ = _execute_unit(
-                    tuple(spec for _, spec in unit), batcher)
-                for (pos, spec), outcome in zip(unit, outcomes):
-                    finish(pos, _as_task_result(spec, *outcome))
-        else:
-            _run_pool(units, jobs, batcher, finish)
+            units = _plan_units(pending, batcher)
+            if jobs == 1 or len(units) <= 1:
+                for unit in units:
+                    _emit_dispatch(unit)
+                    outcomes, _, _ = _execute_unit(
+                        tuple(spec for _, spec in unit), batcher)
+                    for (pos, spec), outcome in zip(unit, outcomes):
+                        finish(pos, _as_task_result(spec, *outcome))
+            else:
+                _run_pool(units, jobs, batcher, finish)
+    finally:
+        if bus is not None:
+            bus.unmark_in_run()
 
     return CampaignResult(
         results=tuple(slots),
@@ -407,6 +455,7 @@ def _run_pool(
     queue = iter(units)
     retries: "deque[tuple[tuple[int, RunSpec], ...]]" = deque()
     profile = telemetry.enabled()
+    observe = events.enabled()
     telemetry.gauge("executor.jobs", max_workers)
 
     def fail_unit(unit, note: str) -> None:
@@ -425,10 +474,11 @@ def _run_pool(
                 if unit is None:
                     break
                 spec_block = tuple(spec for _, spec in unit)
+                _emit_dispatch(unit)
                 try:
                     in_flight[pool.submit(
                         _execute_unit, spec_block, batcher, profile,
-                        time.perf_counter())] = unit
+                        time.perf_counter(), observe)] = unit
                 except Exception:  # BrokenProcessPool, shutdown races
                     pool_broken = True
                     fail_unit(unit, "task not attempted: worker pool broke\n"
@@ -446,7 +496,7 @@ def _run_pool(
             for future in done:
                 unit = in_flight.pop(future)
                 try:
-                    outcomes, snap = future.result()
+                    outcomes, snap, drained = future.result()
                 except Exception:  # worker death / pickling failure
                     if len(unit) > 1:
                         # Don't fail the whole block for one bad task:
@@ -462,10 +512,15 @@ def _run_pool(
                         telemetry.count("executor.block_retries")
                         retries.extend((entry,) for entry in unit)
                         continue
-                    outcomes, snap = [("error", traceback.format_exc(), 0.0)], None
+                    outcomes, snap, drained = \
+                        [("error", traceback.format_exc(), 0.0)], None, None
                 # Worker spans land under the live campaign.run span with
-                # their counters/histograms summed in.
+                # their counters/histograms summed in; worker lifecycle
+                # events are re-sequenced onto the live bus.  A died
+                # block's events never came back, so its retried
+                # singletons are the only events its tasks produce.
                 telemetry.merge_snapshot(snap)
+                events.absorb(drained)
                 for (pos, spec), outcome in zip(unit, outcomes):
                     finish(pos, _as_task_result(spec, *outcome))
             refill()

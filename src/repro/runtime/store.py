@@ -78,10 +78,13 @@ class GcStats:
     n_corrupt: int  # unreadable/torn JSON records (and their side-cars)
     n_tmp: int  # temp files abandoned by interrupted writes
     bytes_freed: int
+    n_orphan_telemetry: int = 0  # telemetry/ files no ledger record names
+    n_torn_runs: int = 0  # unreadable runs/ ledger records
 
     @property
     def n_removed(self) -> int:
-        return self.n_orphan_npz + self.n_corrupt + self.n_tmp
+        return (self.n_orphan_npz + self.n_corrupt + self.n_tmp
+                + self.n_orphan_telemetry + self.n_torn_runs)
 
 
 class ResultStore:
@@ -297,8 +300,8 @@ class ResultStore:
            min_age_s: float = 3600.0) -> GcStats:
         """Prune unreferenced blobs; returns what was (or would be) removed.
 
-        Three kinds of garbage accumulate in a long-lived cache directory
-        and are never read by :meth:`get`:
+        Garbage accumulates in a long-lived cache directory and is never
+        read back by :meth:`get` or the run ledger:
 
         - ``.npz`` side-cars whose JSON record was deleted or lost
           (the record is the only reference to the blob);
@@ -306,18 +309,25 @@ class ResultStore:
           the atomic-write path, or hand-edited) — these already count
           as misses, so dropping them (and their side-cars) only frees
           space;
-        - temp files abandoned by interrupted writes.
+        - temp files abandoned by interrupted writes (in the record
+          fan-out and in ``runs/``);
+        - ``telemetry/`` JSONL files no valid ledger record references —
+          profiled runs whose ledger entry is gone (or that predate the
+          ledger) leave their telemetry behind forever otherwise;
+        - torn/unparseable ``runs/`` ledger records.
 
-        Temp files and orphaned side-cars younger than ``min_age_s`` are
-        left alone: a concurrent campaign process may be mid-:meth:`put`
-        (its NPZ lands before its JSON record, and ``_atomic_write``'s
-        temp file before either), and unlinking its in-flight files would
-        lose the result it is about to reference.
+        Temp files, orphaned side-cars, and orphaned telemetry younger
+        than ``min_age_s`` are left alone: a concurrent campaign process
+        may be mid-write (its NPZ lands before its JSON record, a
+        profiled run's telemetry before its ledger record), and
+        unlinking its in-flight files would lose data it is about to
+        reference.  Valid store records *and valid ledger records* are
+        never touched — the ledger is provenance, not cache.
 
-        Valid records are never touched; with ``dry_run`` nothing is
-        deleted and the stats report what a real pass would remove.
+        With ``dry_run`` nothing is deleted and the stats report what a
+        real pass would remove.
         """
-        n_orphan = n_corrupt = n_tmp = freed = 0
+        n_orphan = n_corrupt = n_tmp = n_tele = n_torn_runs = freed = 0
         if not self.root.exists():
             return GcStats(0, 0, 0, 0)
 
@@ -354,7 +364,47 @@ class ResultStore:
             if not path.with_suffix(".json").exists() and old_enough(path):
                 n_orphan += 1
                 freed += remove(path)
-        telemetry.count("store.gc.removed", n_orphan + n_corrupt + n_tmp)
+
+        # Run-ledger maintenance: collect the telemetry files valid
+        # records reference, drop torn records and abandoned temp files.
+        referenced: "set[str]" = set()
+        runs_dir = self.root / "runs"
+        if runs_dir.exists():
+            for path in sorted(runs_dir.iterdir()):
+                if path.name.startswith("."):
+                    if old_enough(path):
+                        n_tmp += 1
+                        freed += remove(path)
+                    continue
+                try:
+                    record = json.loads(path.read_text())
+                    tele = record.get("telemetry")
+                except (OSError, ValueError, AttributeError):
+                    if old_enough(path):
+                        n_torn_runs += 1
+                        freed += remove(path)
+                    continue
+                if tele:
+                    referenced.add(Path(tele).name)
+
+        # Telemetry files whose run is gone from the ledger (or that
+        # never had a ledger record) are unreachable: nothing maps a
+        # JSONL filename back to a run except the records scanned above.
+        tele_dir = self.root / "telemetry"
+        if tele_dir.exists():
+            for path in sorted(tele_dir.iterdir()):
+                if not old_enough(path):
+                    continue
+                if path.name.startswith("."):
+                    n_tmp += 1
+                    freed += remove(path)
+                elif path.name not in referenced:
+                    n_tele += 1
+                    freed += remove(path)
+
+        telemetry.count("store.gc.removed",
+                        n_orphan + n_corrupt + n_tmp + n_tele + n_torn_runs)
         telemetry.count("store.gc.bytes_freed", freed)
         return GcStats(n_orphan_npz=n_orphan, n_corrupt=n_corrupt,
-                       n_tmp=n_tmp, bytes_freed=freed)
+                       n_tmp=n_tmp, bytes_freed=freed,
+                       n_orphan_telemetry=n_tele, n_torn_runs=n_torn_runs)

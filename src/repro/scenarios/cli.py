@@ -72,6 +72,10 @@ def build_scenario_parser() -> argparse.ArgumentParser:
                        help="write the run's telemetry JSONL here "
                             "(implies --profile); inspect with "
                             "'repro-experiment stats'")
+        p.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="live progress line on stderr (default: auto "
+                            "when stderr is a TTY)")
     return parser
 
 
@@ -83,12 +87,13 @@ def _store(cache_dir: "str | None"):
     return ResultStore(cache_dir)
 
 
-def _maybe_profiled(args, label: str):
+def _maybe_profiled(args, label: str, tracker=None):
     """Telemetry wiring for ``--profile`` / ``--telemetry-out`` runs.
 
     Returns a no-op context unless profiling was requested; profiled runs
     additionally persist their record next to the store artifacts when a
-    cache dir is in play.
+    cache dir is in play.  With a live run ``tracker`` the written
+    telemetry path is recorded in the run's ledger entry.
     """
     if not (getattr(args, "profile", False) or args.telemetry_out):
         from contextlib import nullcontext
@@ -96,8 +101,10 @@ def _maybe_profiled(args, label: str):
         return nullcontext()
     from repro import telemetry
 
-    return telemetry.profiled(label, out=args.telemetry_out,
-                              cache_dir=args.cache_dir)
+    return telemetry.profiled(
+        label, out=args.telemetry_out, cache_dir=args.cache_dir,
+        on_write=tracker.set_telemetry if tracker is not None else None,
+    )
 
 
 def _cmd_list(args) -> int:
@@ -145,33 +152,38 @@ def _cmd_validate(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    spec = resolve_scenario(args.scenario)
-    if spec.sweep is not None:
-        with _maybe_profiled(args, "scenario.sweep"):
+def _observed_sweep(args, spec) -> int:
+    """One observed sweep: event bus + progress + ledger + exit summary."""
+    from repro.obs import observe_run
+
+    with observe_run("scenario.sweep", spec.name, cache_dir=args.cache_dir,
+                     progress=args.progress) as tracker:
+        with _maybe_profiled(args, "scenario.sweep", tracker):
             result = run_scenario_sweep(
                 spec, base_seed=args.seed, engine=args.engine,
                 jobs=args.jobs, store=_store(args.cache_dir),
                 batch=not args.no_batch,
             )
         print(result.render())
-        return 0
-    with _maybe_profiled(args, "scenario.run"):
-        run = run_scenario(spec, seed=args.seed, engine=args.engine)
-    print(run.render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = resolve_scenario(args.scenario)
+    if spec.sweep is not None:
+        return _observed_sweep(args, spec)
+    from repro.obs import observe_run
+
+    with observe_run("scenario.run", spec.name, cache_dir=args.cache_dir,
+                     progress=args.progress) as tracker:
+        with _maybe_profiled(args, "scenario.run", tracker):
+            run = run_scenario(spec, seed=args.seed, engine=args.engine)
+        print(run.render())
     return 0
 
 
 def _cmd_sweep(args) -> int:
-    spec = resolve_scenario(args.scenario)
-    with _maybe_profiled(args, "scenario.sweep"):
-        result = run_scenario_sweep(
-            spec, base_seed=args.seed, engine=args.engine,
-            jobs=args.jobs, store=_store(args.cache_dir),
-            batch=not args.no_batch,
-        )
-    print(result.render())
-    return 0
+    return _observed_sweep(args, resolve_scenario(args.scenario))
 
 
 def scenario_main(argv: "list[str] | None" = None) -> int:

@@ -32,6 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import telemetry
+from repro.obs import events
 from repro.core.timing import RunTiming
 from repro.scenarios.compiler import CompiledScenario, compile_scenario
 from repro.scenarios.outputs import compute_outputs
@@ -208,9 +209,23 @@ def run_scenario(
     else:
         with telemetry.span("scenario.compile"):
             compiled = compile_scenario(scenario, engine=engine)
+    # Own the run lifecycle only at top level: as one task of a sweep or
+    # report campaign this stays silent (the campaign emits per-task
+    # events; worker-local run.* events are dropped on absorption).
+    owns_run = events.enabled() and not events.in_run()
+    if owns_run:
+        run_seed = compiled.spec.seed if seed is None else int(seed)
+        events.emit("run.start", kind="scenario.run",
+                    name=compiled.spec.name, n_tasks=1,
+                    engine=compiled.engine, seed_root=run_seed, jobs=1)
+        events.emit("task.start", index=0)
     prepared = prepare_scenario_run(compiled, seed)
     timing = _execute_prepared(compiled, prepared)
-    return finish_scenario_run(compiled, prepared, timing)
+    run = finish_scenario_run(compiled, prepared, timing)
+    if owns_run:
+        events.emit("task.done", index=0)
+        events.emit("run.finish", status="ok", n_tasks=1, n_failed=0)
+    return run
 
 
 def run_scenario_batch(

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.obs import events
 from repro.runtime import CampaignResult, SweepSpec, run_campaign
 from repro.scenarios.compiler import compile_scenario
 from repro.scenarios.errors import ScenarioError
@@ -196,6 +197,19 @@ def _mean_outputs(values: "list[dict]") -> dict:
     return out
 
 
+def _sweep_spec_key(tasks) -> str:
+    """One content hash naming the whole sweep: the digest of its task keys.
+
+    Same alphabet/length as a store key, but derived from *all* task
+    hashes — two sweeps share it iff they would hit the same records.
+    Only computed when a run consumer is live (events enabled).
+    """
+    import hashlib
+
+    joined = "\n".join(task.key for task in tasks).encode()
+    return hashlib.sha256(joined).hexdigest()[:32]
+
+
 def run_scenario_sweep(
     spec: ScenarioSpec,
     base_seed: "int | None" = None,
@@ -217,10 +231,26 @@ def run_scenario_sweep(
     with telemetry.span("sweep.expand", scenario=spec.name):
         sweep = scenario_sweep_spec(spec, base_seed=base_seed, engine=engine)
         tasks = sweep.tasks()
+    # Run-lifecycle events are owned by the outermost runner: a sweep
+    # executed inside another run (a report's campaign) stays silent.
+    owns_run = events.enabled() and not events.in_run()
+    if owns_run:
+        events.emit(
+            "run.start", kind="scenario.sweep", name=spec.name,
+            n_tasks=len(tasks), engine=dict(sweep.base)["engine"],
+            seed_root=sweep.base_seed, jobs=jobs,
+            spec_key=_sweep_spec_key(tasks),
+        )
     campaign = run_campaign(
         tasks, jobs=jobs, store=store,
         batcher=ScenarioTaskBatcher() if batch else None,
     )
+    if owns_run:
+        events.emit("run.finish",
+                    status="failed" if campaign.failures else "ok",
+                    n_tasks=len(campaign), n_failed=len(campaign.failures),
+                    n_cached=campaign.n_cached,
+                    n_executed=campaign.n_executed)
     campaign.raise_failures()
 
     with telemetry.span("sweep.aggregate", n_runs=len(campaign)):

@@ -60,7 +60,8 @@ __all__ = [
 
 
 @contextmanager
-def profiled(label: str, out=None, cache_dir=None, echo=print):
+def profiled(label: str, out=None, cache_dir=None, echo=print,
+             on_write=None):
     """Record one profiled run and flush it to sinks on exit.
 
     Enables telemetry, opens a root span named ``label``, and yields the
@@ -69,7 +70,9 @@ def profiled(label: str, out=None, cache_dir=None, echo=print):
     (``--telemetry-out``) and/or persisted under
     ``<cache_dir>/telemetry/<label>-<unix>.jsonl`` next to the store
     artifacts, and the summary table is printed through ``echo``
-    (pass ``echo=None`` to silence it).
+    (pass ``echo=None`` to silence it).  ``on_write`` is called with
+    each written path — the run ledger uses it to record where a run's
+    telemetry landed.
     """
     rec = enable()
     try:
@@ -86,6 +89,9 @@ def profiled(label: str, out=None, cache_dir=None, echo=print):
             paths.append(write_jsonl(
                 snap, Path(cache_dir) / "telemetry" / f"{label}-{stamp}.jsonl",
                 label=label))
+        if on_write is not None:
+            for p in paths:
+                on_write(p)
         if echo is not None:
             echo(render_summary(snap))
             for p in paths:

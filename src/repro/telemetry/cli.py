@@ -20,7 +20,34 @@ import sys
 
 from .sinks import read_jsonl, render_summary, summarize
 
-__all__ = ["stats_main", "build_stats_parser"]
+__all__ = ["stats_main", "build_stats_parser", "StatsError"]
+
+
+class StatsError(Exception):
+    """User-facing failure reading a telemetry file (no traceback)."""
+
+
+def _load(path: str) -> dict:
+    """Read a telemetry JSONL file, failing cleanly on bad input.
+
+    Missing/unreadable files, non-JSONL content, and files holding no
+    telemetry events (empty, or a bare meta line from a run that died
+    before recording anything) all raise :class:`StatsError`, which
+    :func:`stats_main` turns into a one-line message and exit code 1.
+    """
+    try:
+        snap = read_jsonl(path)
+    except OSError as exc:
+        raise StatsError(
+            f"cannot read {path}: {exc.strerror or exc}") from exc
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise StatsError(f"{path} is not telemetry JSONL: {exc}") from exc
+    if not (snap["spans"] or snap["counters"] or snap["gauges"]
+            or snap["hists"]):
+        raise StatsError(
+            f"{path} holds no telemetry events (empty or meta-only file); "
+            "was the run profiled?")
+    return snap
 
 
 def build_stats_parser() -> argparse.ArgumentParser:
@@ -59,7 +86,7 @@ def _fmt_s(seconds: float) -> str:
 
 
 def _cmd_show(args) -> int:
-    snap = read_jsonl(args.file)
+    snap = _load(args.file)
     spans = snap["spans"]
     if not spans:
         print("[no spans recorded]")
@@ -98,7 +125,7 @@ def _store_growth(store_dir: str) -> dict:
 
 
 def _cmd_summarize(args) -> int:
-    snap = read_jsonl(args.file)
+    snap = _load(args.file)
     store = _store_growth(args.store) if args.store else None
     if args.as_json:
         payload = summarize(snap)
@@ -119,8 +146,8 @@ def _fmt_rate(rate: "float | None") -> str:
 
 
 def _cmd_diff(args) -> int:
-    before = summarize(read_jsonl(args.before))
-    after = summarize(read_jsonl(args.after))
+    before = summarize(_load(args.before))
+    after = summarize(_load(args.after))
     b_total = before["phase_breakdown"]["total_s"]
     a_total = after["phase_breakdown"]["total_s"]
     print(f"{'':<28} {'before':>12} {'after':>12}")
@@ -150,8 +177,13 @@ def _cmd_diff(args) -> int:
 
 def stats_main(argv: "list[str] | None" = None) -> int:
     args = build_stats_parser().parse_args(argv)
-    return {"show": _cmd_show, "summarize": _cmd_summarize,
-            "diff": _cmd_diff}[args.command](args)
+    handler = {"show": _cmd_show, "summarize": _cmd_summarize,
+               "diff": _cmd_diff}[args.command]
+    try:
+        return handler(args)
+    except StatsError as exc:
+        print(f"stats error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

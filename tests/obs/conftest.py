@@ -1,0 +1,12 @@
+"""Obs test hygiene: never leak a live event bus between tests."""
+
+import pytest
+
+from repro.obs import events
+
+
+@pytest.fixture(autouse=True)
+def no_bus_leak():
+    events.disable()
+    yield
+    events.disable()

@@ -1,0 +1,140 @@
+"""Event bus unit contract: ordering, identity, transport, fast path."""
+
+import pytest
+
+from repro.obs import events
+from repro.obs.events import EVENT_VERSION, KNOWN_EVENTS, EventBus
+
+
+class TestEventBus:
+    def test_events_are_sequenced_in_emission_order(self):
+        bus = EventBus()
+        bus.emit("task.submit", index=0)
+        bus.emit("task.start", index=0)
+        bus.emit("task.done", index=0)
+        assert [e[0] for e in bus.events] == [0, 1, 2]
+        assert [e[1] for e in bus.events] == [
+            "task.submit", "task.start", "task.done"]
+
+    def test_identity_excludes_timestamps(self):
+        bus = EventBus()
+        bus.emit("task.done", index=3)
+        bus.emit("run.finish")
+        assert bus.identity() == [
+            (0, "task.done", {"index": 3}),
+            (1, "run.finish", None),
+        ]
+
+    def test_subscribers_see_every_event_synchronously(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("task.submit", index=1)
+        bus.unsubscribe(seen.append)
+        bus.emit("task.done", index=1)
+        assert [e[1] for e in seen] == ["task.submit"]
+
+    def test_counts(self):
+        bus = EventBus()
+        for i in range(3):
+            bus.emit("task.done", index=i)
+        bus.emit("run.finish")
+        assert bus.counts() == {"task.done": 3, "run.finish": 1}
+
+    def test_drain_detaches_transport_tuples_without_seq(self):
+        bus = EventBus()
+        bus.emit("task.done", index=0)
+        drained = bus.drain()
+        assert bus.events == []
+        assert len(drained) == 1
+        name, t, wall, data = drained[0]
+        assert name == "task.done"
+        assert data == {"index": 0}
+
+    def test_absorb_resequences_and_drops_worker_run_events(self):
+        parent = EventBus()
+        parent.emit("run.start", kind="scenario.sweep")
+        worker = EventBus()
+        worker.emit("run.start", kind="scenario.run")  # worker-local: drop
+        worker.emit("task.done", index=5)
+        worker.emit("run.finish", status="ok")  # worker-local: drop
+        parent.absorb(worker.drain())
+        assert parent.identity() == [
+            (0, "run.start", {"kind": "scenario.sweep"}),
+            (1, "task.done", {"index": 5}),
+        ]
+
+    def test_run_depth_tracks_lifecycle_and_marks(self):
+        bus = EventBus()
+        assert bus._run_depth == 0
+        bus.emit("run.start")
+        assert bus._run_depth == 1
+        bus.emit("run.finish")
+        assert bus._run_depth == 0
+        bus.mark_in_run()
+        assert bus._run_depth == 1
+        bus.unmark_in_run()
+        bus.unmark_in_run()  # clamped
+        assert bus._run_depth == 0
+
+    def test_payloadless_event_carries_none_not_empty_dict(self):
+        bus = EventBus()
+        bus.emit("run.finish")
+        assert bus.events[0][4] is None
+
+
+class TestModuleFastPath:
+    def test_disabled_emit_is_a_noop(self):
+        assert not events.enabled()
+        event = events.emit("task.done", index=0)
+        assert event == events._NULL_EVENT
+        assert events.current_bus() is None
+
+    def test_enable_emit_disable_roundtrip(self):
+        bus = events.enable()
+        assert events.enabled()
+        events.emit("task.done", index=1)
+        assert bus.counts() == {"task.done": 1}
+        assert events.disable() is bus
+        assert not events.enabled()
+
+    def test_enable_fresh_replaces_live_bus(self):
+        stale = events.enable()
+        stale.emit("task.done", index=0)
+        fresh = events.enable(fresh=True)
+        assert fresh is not stale
+        assert len(fresh) == 0
+
+    def test_enable_in_run_marks_worker_bus(self):
+        events.enable(in_run=True)
+        assert events.in_run()
+
+    def test_in_run_follows_emitted_lifecycle(self):
+        events.enable()
+        assert not events.in_run()
+        events.emit("run.start")
+        assert events.in_run()
+        events.emit("run.finish")
+        assert not events.in_run()
+
+    def test_module_absorb_noop_when_disabled(self):
+        events.absorb([("task.done", 0.0, 0.0, {"index": 0})])  # no raise
+        assert not events.enabled()
+
+    def test_emit_name_is_positional_only(self):
+        """Payloads may legitimately carry a ``name`` key (run names)."""
+        bus = events.enable()
+        bus.emit("run.start", name="campaign_rate_sweep")
+        assert bus.identity() == [
+            (0, "run.start", {"name": "campaign_rate_sweep"})]
+
+
+class TestVocabulary:
+    def test_known_events_cover_the_lifecycle(self):
+        assert {"run.start", "run.finish", "task.submit", "task.start",
+                "task.done", "task.failed", "task.cache_hit",
+                "block.dispatch", "block.fallback",
+                "report.phase"} == KNOWN_EVENTS
+
+    def test_event_version_is_an_int(self):
+        assert isinstance(EVENT_VERSION, int) and EVENT_VERSION >= 1

@@ -1,0 +1,183 @@
+"""`repro-experiment runs` end to end: real sweeps writing real ledgers.
+
+The headline acceptance (ISSUE 7): after a swept run, ``runs show``
+reconstructs the spec key, seed root, cache-hit rate, and artifact
+paths from the ledger alone — and the exit summary the sweep printed
+came from the very record ``runs show`` reads back.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.cli import runs_main
+from repro.obs.ledger import RunLedger
+from repro.scenarios.cli import scenario_main
+
+SWEEP = """\
+description = "ledger acceptance sweep"
+n_ranks = 8
+n_steps = 10
+outputs = ["runtime"]
+
+[machine]
+preset = "simulated"
+
+[workload]
+kind = "synthetic"
+t_exec = 3e-3
+
+[comm]
+direction = "bidirectional"
+distance = 1
+periodic = true
+msg_size = 8192
+protocol = "eager"
+
+[noise]
+model = "none"
+
+[campaign]
+rate = 0.01
+phases_low = 2.0
+phases_high = 8.0
+
+[sweep]
+replicates = 2
+
+[[sweep.axes]]
+path = "campaign.rate"
+values = [0.01, 0.05]
+"""
+
+
+@pytest.fixture
+def swept(tmp_path, capsys):
+    """One cold + one warm sweep against the same cache dir."""
+    toml = tmp_path / "sweep.toml"
+    toml.write_text(SWEEP)
+    store = tmp_path / "store"
+    for _ in range(2):
+        assert scenario_main([
+            "sweep", str(toml), "--engine", "dag",
+            "--cache-dir", str(store), "--no-progress",
+        ]) == 0
+    out = capsys.readouterr().out
+    return store, out
+
+
+class TestSweepWritesLedger:
+    def test_two_runs_two_records(self, swept):
+        store, _ = swept
+        records = list(RunLedger(store).records())
+        assert len(records) == 2
+        cold, warm = records
+        assert cold["n_executed"] == 4 and cold["n_cached"] == 0
+        assert warm["n_cached"] == 4 and warm["cache_hit_rate"] == 1.0
+        assert cold["spec_key"] == warm["spec_key"]
+        assert cold["engine"] == "dag"
+        assert cold["seed_root"] is not None
+        assert cold["status"] == "ok"
+
+    def test_exit_summary_printed_even_without_progress(self, swept):
+        _, out = swept
+        summaries = re.findall(r"\[run sweep-\S+: 4 task\(s\), 0 failed, "
+                               r"\d+ cache hit\(s\), [\d.]+s\]", out)
+        assert len(summaries) == 2
+        assert "0 cache hit(s)" in summaries[0]
+        assert "4 cache hit(s)" in summaries[1]
+        assert out.count("[run recorded in ") == 2
+
+    def test_summary_matches_the_persisted_record(self, swept):
+        store, out = swept
+        from repro.obs.ledger import render_run_summary
+
+        for record in RunLedger(store).records():
+            assert render_run_summary(record) in out
+
+
+class TestRunsCli:
+    def test_ls_renders_and_counts(self, swept, capsys):
+        store, _ = swept
+        assert runs_main(["ls", "--cache-dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("sweep-") >= 2
+        assert "[2 run(s) in" in out
+
+    def test_ls_json_parses(self, swept, capsys):
+        store, _ = swept
+        assert runs_main(["ls", "--cache-dir", str(store), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_ls_filters_by_name_and_status(self, swept, capsys):
+        store, _ = swept
+        assert runs_main(["ls", "--cache-dir", str(store),
+                          "--status", "failed"]) == 0
+        assert "[no runs recorded" in capsys.readouterr().out
+        assert runs_main(["ls", "--cache-dir", str(store),
+                          "--name", "no_such_scenario"]) == 0
+        assert "[no runs recorded" in capsys.readouterr().out
+
+    def test_show_reconstructs_provenance(self, swept, capsys):
+        store, _ = swept
+        warm = list(RunLedger(store).records())[-1]
+        assert runs_main(["show", warm["id"],
+                          "--cache-dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert f"=== run {warm['id']} ===" in out
+        assert f"spec key         {warm['spec_key']}" in out
+        assert f"seed root        {warm['seed_root']}" in out
+        assert "cache hit rate   100%" in out
+        assert "engine           dag" in out
+
+    def test_show_json_is_the_raw_record(self, swept, capsys):
+        store, _ = swept
+        cold = next(iter(RunLedger(store).records()))
+        assert runs_main(["show", cold["id"], "--cache-dir", str(store),
+                          "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == cold
+
+    def test_show_unknown_id_fails_cleanly(self, swept, capsys):
+        store, _ = swept
+        assert runs_main(["show", "nope", "--cache-dir", str(store)]) == 1
+        assert "runs error" in capsys.readouterr().err
+
+    def test_tail_limits_to_n(self, swept, capsys):
+        store, _ = swept
+        assert runs_main(["tail", "--cache-dir", str(store), "-n", "1",
+                          "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["n_cached"] == 4  # the warm (latest) run
+
+    def test_empty_ledger_dir(self, tmp_path, capsys):
+        assert runs_main(["ls", "--cache-dir", str(tmp_path)]) == 0
+        assert "[no runs recorded" in capsys.readouterr().out
+
+    def test_routed_through_main_cli(self, swept, capsys):
+        store, _ = swept
+        assert main(["runs", "tail", "--cache-dir", str(store)]) == 0
+        assert "sweep-" in capsys.readouterr().out
+
+
+class TestReportLedger:
+    def test_report_run_records_artifacts(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        out_dir = tmp_path / "out"
+        from repro.reports.cli import report_main
+
+        assert report_main([
+            "run", "fig7_speed", "--cache-dir", str(store),
+            "--out", str(out_dir), "--no-progress",
+        ]) == 0
+        capsys.readouterr()
+        (record,) = RunLedger(store).records()
+        assert record["kind"] == "report.run"
+        assert record["status"] == "ok"
+        assert record["artifacts"]
+        for path in record["artifacts"]:
+            assert path.startswith(str(out_dir))

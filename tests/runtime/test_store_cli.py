@@ -147,6 +147,91 @@ class TestGc:
         assert stats.n_removed == 0
 
 
+class TestGcObservability:
+    """gc also maintains the obs side-dirs: <cache>/telemetry/ JSONL no
+    ledger record references, torn run records, and abandoned temps —
+    never a valid ledger record (provenance is not cache)."""
+
+    @pytest.fixture
+    def obs_store(self, store):
+        runs = store.root / "runs"
+        tele = store.root / "telemetry"
+        runs.mkdir()
+        tele.mkdir()
+        (tele / "kept.jsonl").write_text('{"type": "meta"}\n')
+        (runs / "sweep-a.json").write_text(json.dumps(
+            {"id": "sweep-a", "telemetry": str(tele / "kept.jsonl")}) + "\n")
+        return store
+
+    def test_referenced_telemetry_and_valid_records_survive(self, obs_store):
+        stats = obs_store.gc(min_age_s=0)
+        assert stats.n_removed == 0
+        assert (obs_store.root / "runs" / "sweep-a.json").exists()
+        assert (obs_store.root / "telemetry" / "kept.jsonl").exists()
+
+    def test_orphan_telemetry_removed(self, obs_store):
+        orphan = obs_store.root / "telemetry" / "orphan.jsonl"
+        orphan.write_text('{"type": "meta"}\n')
+        stats = obs_store.gc(min_age_s=0)
+        assert stats.n_orphan_telemetry == 1 and stats.bytes_freed > 0
+        assert not orphan.exists()
+        assert (obs_store.root / "telemetry" / "kept.jsonl").exists()
+
+    def test_fresh_orphan_telemetry_survives(self, obs_store):
+        # A live --profile run writes telemetry before its ledger record.
+        orphan = obs_store.root / "telemetry" / "inflight.jsonl"
+        orphan.write_text('{"type": "meta"}\n')
+        stats = obs_store.gc()  # default min-age spares young files
+        assert stats.n_orphan_telemetry == 0
+        assert orphan.exists()
+
+    def test_torn_run_record_removed(self, obs_store):
+        torn = obs_store.root / "runs" / "torn.json"
+        torn.write_text('{"id": "tor')
+        stats = obs_store.gc(min_age_s=0)
+        assert stats.n_torn_runs == 1
+        assert not torn.exists()
+
+    def test_ledger_temp_files_counted_as_tmp(self, obs_store):
+        (obs_store.root / "runs" / ".sweep-b.json.x1").write_text("p")
+        (obs_store.root / "telemetry" / ".w.jsonl.x2").write_text("p")
+        stats = obs_store.gc(min_age_s=0)
+        assert stats.n_tmp == 2
+        assert stats.n_orphan_telemetry == 0
+
+    def test_dry_run_reports_without_deleting(self, obs_store):
+        orphan = obs_store.root / "telemetry" / "orphan.jsonl"
+        orphan.write_text('{"type": "meta"}\n')
+        stats = obs_store.gc(dry_run=True, min_age_s=0)
+        assert stats.n_orphan_telemetry == 1 and stats.bytes_freed > 0
+        assert orphan.exists()
+
+    def test_cli_reports_new_categories(self, obs_store, capsys):
+        (obs_store.root / "telemetry" / "orphan.jsonl").write_text("{}\n")
+        (obs_store.root / "runs" / "torn.json").write_text("{")
+        assert store_main(["gc", "--cache-dir", str(obs_store.root),
+                           "--min-age", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "1 orphan telemetry" in out
+        assert "1 torn run record(s)" in out
+        assert "removed 2 file(s)" in out
+
+    def test_end_to_end_profiled_sweep_then_gc(self, tmp_path, capsys):
+        """A real profiled sweep's ledger + telemetry are never pruned."""
+        from repro.scenarios.cli import scenario_main
+
+        store_dir = tmp_path / "cache"
+        assert scenario_main([
+            "sweep", "campaign_rate_sweep", "--cache-dir", str(store_dir),
+            "--profile", "--no-progress",
+        ]) == 0
+        capsys.readouterr()
+        stats = ResultStore(store_dir).gc(min_age_s=0)
+        assert stats.n_removed == 0
+        assert list((store_dir / "runs").glob("*.json"))
+        assert list((store_dir / "telemetry").glob("*.jsonl"))
+
+
 class TestCli:
     def test_ls(self, store, capsys):
         assert store_main(["ls", "--cache-dir", str(store.root)]) == 0

@@ -201,6 +201,80 @@ class TestTelemetryDeterminism:
         assert warm.campaign.values() == cold.campaign.values()
 
 
+class TestObservabilityDeterminism:
+    """The event bus is pure observation, like telemetry: enabling it
+    never changes engine outputs or the bytes the store persists."""
+
+    @pytest.fixture
+    def observed(self):
+        from repro.obs import events
+
+        events.enable()
+        yield events
+        events.disable()
+
+    def test_observed_sweep_store_records_byte_identical(
+            self, tmp_path, observed):
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        plain_store = ResultStore(tmp_path / "plain")
+        observed.disable()
+        plain = run_scenario_sweep(spec, engine="dag", store=plain_store)
+        observed.enable()
+        obs_store = ResultStore(tmp_path / "observed")
+        obs = run_scenario_sweep(spec, engine="dag", store=obs_store)
+        assert obs.campaign.values() == plain.campaign.values()
+        assert obs.points == plain.points
+        plain_files = {p.name: p.read_bytes()
+                       for p in sorted((tmp_path / "plain").rglob("*.json"))}
+        obs_files = {p.name: p.read_bytes()
+                     for p in sorted((tmp_path / "observed").rglob("*.json"))}
+        assert plain_files.keys() == obs_files.keys()
+        assert plain_files == obs_files
+
+    def test_observed_parallel_sweep_matches_plain_serial(self, observed):
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        obs = run_scenario_sweep(spec, jobs=2, batch=True)
+        observed.disable()
+        plain = run_scenario_sweep(spec, jobs=1, batch=False)
+        assert obs.campaign.values() == plain.campaign.values()
+
+    def test_observed_and_profiled_together_stay_pure(
+            self, tmp_path, observed):
+        """Telemetry + events share the worker result channel; running
+        both at once must still leave the store untouched byte-wise."""
+        from repro import telemetry
+
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        observed.disable()
+        plain_store = ResultStore(tmp_path / "plain")
+        plain = run_scenario_sweep(spec, engine="dag", store=plain_store)
+        observed.enable()
+        telemetry.enable()
+        try:
+            both_store = ResultStore(tmp_path / "both")
+            both = run_scenario_sweep(spec, engine="dag", store=both_store)
+        finally:
+            telemetry.disable()
+        assert both.campaign.values() == plain.campaign.values()
+        plain_files = {p.name: p.read_bytes()
+                       for p in sorted((tmp_path / "plain").rglob("*.json"))}
+        both_files = {p.name: p.read_bytes()
+                      for p in sorted((tmp_path / "both").rglob("*.json"))}
+        assert plain_files == both_files
+
+    def test_observed_warm_read_values_are_pure(self, tmp_path, observed):
+        """cache_hit events must not perturb cached values."""
+        spec = load_bundled_scenario("campaign_rate_sweep")
+        store = ResultStore(tmp_path / "store")
+        observed.disable()
+        cold = run_scenario_sweep(spec, store=store)
+        observed.enable()
+        warm = run_scenario_sweep(spec, store=store)
+        bus = observed.current_bus()
+        assert bus.counts()["task.cache_hit"] == len(warm.campaign)
+        assert warm.campaign.values() == cold.campaign.values()
+
+
 class TestBatchExecution:
     def test_execute_matches_scenario_task_values(self):
         tasks = sweep_tasks()

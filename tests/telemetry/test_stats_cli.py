@@ -239,9 +239,42 @@ class TestStatsCli:
         assert main(["stats", "summarize", str(run_file)]) == 0
         assert "telemetry summary" in capsys.readouterr().out
 
-    def test_show_empty_file(self, tmp_path, capsys):
+    def test_show_meta_only_file_fails_cleanly(self, tmp_path, capsys):
+        """A bare meta line means the run recorded nothing — say so and
+        exit nonzero instead of rendering an empty tree."""
         empty = tmp_path / "empty.jsonl"
         empty.write_text(json.dumps(
             {"type": "meta", "version": 1, "label": ""}) + "\n")
-        assert stats_main(["show", str(empty)]) == 0
-        assert "no spans" in capsys.readouterr().out
+        assert stats_main(["show", str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "stats error" in err
+        assert "no telemetry events" in err
+
+    @pytest.mark.parametrize("command", ["show", "summarize"])
+    def test_zero_byte_file_fails_cleanly(self, command, tmp_path, capsys):
+        empty = tmp_path / "zero.jsonl"
+        empty.write_text("")
+        assert stats_main([command, str(empty)]) == 1
+        assert "stats error" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert stats_main(["show", str(tmp_path / "nope.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "stats error" in err
+        assert "cannot read" in err
+
+    def test_non_jsonl_file_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert stats_main(["summarize", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "stats error" in err
+        assert "not telemetry JSONL" in err
+
+    def test_diff_with_meta_only_side_fails_cleanly(
+            self, run_file, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text(json.dumps(
+            {"type": "meta", "version": 1, "label": ""}) + "\n")
+        assert stats_main(["diff", str(run_file), str(empty)]) == 1
+        assert "stats error" in capsys.readouterr().err
