@@ -213,10 +213,13 @@ class RunLedger:
         Raises :class:`KeyError` with a readable message when nothing
         (or more than one record) matches.
         """
-        matches = [r for r in self.records()
-                   if r["id"] == id_or_prefix]
+        # One directory scan: records() re-reads and re-parses every
+        # file, so materialize it once and run both match passes (exact,
+        # then prefix) over the loaded list.
+        records = list(self.records())
+        matches = [r for r in records if r["id"] == id_or_prefix]
         if not matches:
-            matches = [r for r in self.records()
+            matches = [r for r in records
                        if r["id"].startswith(id_or_prefix)]
         if not matches:
             raise KeyError(f"no run {id_or_prefix!r} in {self.root}")

@@ -9,18 +9,32 @@ touched (the execution path is not even imported).  On a miss it falls
 back to dispatching the remaining work through
 :func:`repro.runtime.executor.run_campaign`, inheriting ``--jobs``
 sharding, block batching, and deterministic seeding.
+
+Two scale features ride on the packed store backend
+(:mod:`repro.runtime.shards`):
+
+- **zero-copy reads** — cached fetches pass ``mmap=True`` to the store,
+  so array fields of packed records arrive as read-only views into the
+  shard's memory map; stacking a ``(B, P, S)`` timing batch then gathers
+  straight from the mapped pages with no per-record intermediate copy.
+- **streaming** — :func:`stream_campaign` yields a fully-cached
+  campaign's values in fixed-size blocks, loading each block only when
+  the consumer reaches it: a report over a huge sweep holds one grid
+  point's draws in memory at a time instead of materializing all of
+  them (:func:`repro.reports.runner.run_report` consumes it per point).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
 
 from repro.obs.events import enabled as events_enabled
 from repro.runtime.spec import RunSpec
 from repro.runtime.store import ResultStore
 
-__all__ = ["CampaignFetch", "load_cached", "fetch_campaign"]
+__all__ = ["CampaignFetch", "CampaignStream", "fetch_campaign",
+           "load_cached", "stream_campaign"]
 
 
 @dataclass(frozen=True)
@@ -40,18 +54,32 @@ class CampaignFetch:
         return len(self.values)
 
 
+def _store_get(store, key: str, mmap: bool) -> "Mapping | None":
+    """One store lookup, zero-copy when asked for and supported."""
+    if mmap:
+        try:
+            return store.get(key, mmap=True)
+        except TypeError:  # store-like test double without the kwarg
+            return store.get(key)
+    return store.get(key)
+
+
 def load_cached(
-    store: "ResultStore | None", specs: "Sequence[RunSpec]"
+    store: "ResultStore | None", specs: "Sequence[RunSpec]",
+    mmap: bool = False,
 ) -> "tuple[list[Mapping | None], list[RunSpec]]":
     """Look every task up by its content hash; no execution, ever.
 
     Returns ``(values, missing)``: ``values`` has one entry per task in
     order (``None`` on a miss), ``missing`` lists the specs that need
-    dispatching.  With no store, everything is missing.
+    dispatching.  With no store, everything is missing.  ``mmap=True``
+    requests zero-copy (read-only) array views for packed records.
     """
     if store is None:
         return [None] * len(specs), list(specs)
-    values: "list[Mapping | None]" = [store.get(spec.key) for spec in specs]
+    values: "list[Mapping | None]" = [
+        _store_get(store, spec.key, mmap) for spec in specs
+    ]
     missing = [spec for spec, value in zip(specs, values) if value is None]
     return values, missing
 
@@ -61,6 +89,7 @@ def fetch_campaign(
     store: "ResultStore | None" = None,
     jobs: int = 1,
     batcher=None,
+    mmap: bool = False,
 ) -> CampaignFetch:
     """All task values, from the store where possible, executed otherwise.
 
@@ -72,7 +101,7 @@ def fetch_campaign(
     :class:`~repro.runtime.executor.TaskError`.
     """
     specs = tuple(specs)
-    values, missing = load_cached(store, specs)
+    values, missing = load_cached(store, specs, mmap=mmap)
     if not missing:
         # The fully-cached path bypasses run_campaign (and its event
         # emission), so publish the hits here — a warm report still
@@ -94,3 +123,90 @@ def fetch_campaign(
         n_loaded=campaign.n_cached,
         n_executed=campaign.n_executed,
     )
+
+
+@dataclass
+class CampaignStream:
+    """A campaign's values, deliverable block by block.
+
+    On the fully-cached path the stream is *lazy*: each block's records
+    are loaded (``mmap`` zero-copy for packed records) only when the
+    consumer reaches it, and nothing retains them afterwards — peak
+    memory is one block, however large the sweep.  Any cache miss
+    degrades to one eager :func:`fetch_campaign` over the whole spec
+    list (execution has to materialize those values anyway), after which
+    blocks are served as slices.
+
+    ``n_loaded`` / ``n_executed`` are running counts; they are complete
+    once :meth:`blocks` is exhausted.
+    """
+
+    specs: "tuple[RunSpec, ...]"
+    store: "ResultStore | None" = None
+    jobs: int = 1
+    batcher: object = None
+    mmap: bool = True
+    n_loaded: int = field(default=0, init=False)
+    n_executed: int = field(default=0, init=False)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.specs)
+
+    def _fully_cached(self) -> bool:
+        if self.store is None:
+            return False
+        return all(spec.key in self.store for spec in self.specs)
+
+    def blocks(self, size: int) -> "Iterator[tuple[Mapping, ...]]":
+        """Yield the values in consecutive blocks of ``size`` tasks."""
+        if size <= 0:
+            raise ValueError(f"block size must be positive, got {size}")
+        if not self._fully_cached():
+            fetch = fetch_campaign(self.specs, store=self.store,
+                                   jobs=self.jobs, batcher=self.batcher,
+                                   mmap=self.mmap)
+            self.n_loaded = fetch.n_loaded
+            self.n_executed = fetch.n_executed
+            for start in range(0, len(self.specs), size):
+                yield fetch.values[start:start + size]
+            return
+        publish = events_enabled()
+        for start in range(0, len(self.specs), size):
+            block = []
+            for spec in self.specs[start:start + size]:
+                value = _store_get(self.store, spec.key, self.mmap)
+                if value is None:
+                    # The presence probe raced a gc/teardown: recompute
+                    # just this task through the executor.
+                    from repro.runtime.executor import run_campaign
+
+                    campaign = run_campaign([spec], jobs=1, store=self.store)
+                    campaign.raise_failures()
+                    value = campaign.results[0].value
+                    self.n_executed += 1
+                else:
+                    self.n_loaded += 1
+                    if publish:
+                        from repro.obs import events
+
+                        events.emit("task.cache_hit", index=spec.index)
+                block.append(value)
+            yield tuple(block)
+
+
+def stream_campaign(
+    specs: "Sequence[RunSpec]",
+    store: "ResultStore | None" = None,
+    jobs: int = 1,
+    batcher=None,
+    mmap: bool = True,
+) -> CampaignStream:
+    """A :class:`CampaignStream` over the campaign's tasks.
+
+    The streaming counterpart of :func:`fetch_campaign`: same dispatch
+    and failure semantics, but a fully-cached sweep is read lazily in
+    blocks instead of being materialized whole.
+    """
+    return CampaignStream(specs=tuple(specs), store=store, jobs=jobs,
+                          batcher=batcher, mmap=mmap)

@@ -4,7 +4,10 @@
 
 1. each target's timing campaign is resolved against the result store
    (:mod:`repro.reports.query`) — fully cached sweeps never touch the
-   engine; misses dispatch through the campaign runtime with batching;
+   engine and **stream**: draws are read lazily one grid point at a
+   time (zero-copy mmap views for packed records), so a huge sweep is
+   never materialized whole; misses dispatch through the campaign
+   runtime with batching;
 2. each grid point's draws are stacked into one ``(B, P, S)``
    :class:`~repro.reports.timing.BatchedTiming` and every metric kernel
    runs once per point (vectorized over draws — no per-draw loop);
@@ -14,6 +17,7 @@
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,7 +28,7 @@ from repro.reports.compiler import SCENARIO_COLUMN, CompiledReport
 from repro.reports.errors import ReportError
 from repro.reports.kernels import MetricContext
 from repro.reports.tasks import ReportTaskBatcher
-from repro.reports.query import fetch_campaign
+from repro.reports.query import stream_campaign
 from repro.reports.timing import BatchedTiming
 from repro.viz.tables import format_table
 
@@ -165,26 +169,29 @@ def run_report(
         if owns_run:
             events.emit("report.phase", phase="fetch",
                         scenario=target.scenario.name)
+        draws = target.draws_per_point
         with telemetry.span("report.fetch", scenario=target.scenario.name):
             tasks = target.sweep.tasks()
-            fetch = fetch_campaign(
+            stream = stream_campaign(
                 tasks, store=store, jobs=jobs,
                 batcher=ReportTaskBatcher() if batch else None,
             )
-        n_tasks += fetch.n_tasks
-        n_loaded += fetch.n_loaded
-        n_executed += fetch.n_executed
-
-        draws = target.draws_per_point
+            # Prime the stream inside the fetch span: a cache miss
+            # dispatches the whole campaign here (as fetch_campaign
+            # did), while a fully-cached sweep only loads the first
+            # point's draws — later blocks are read lazily, one grid
+            # point at a time, so the sweep is never materialized whole.
+            blocks = stream.blocks(draws)
+            first_block = next(blocks, ())
+        blocks = itertools.chain([first_block], blocks)
         if owns_run:
             events.emit("report.phase", phase="metrics",
                         scenario=target.scenario.name,
                         n_points=len(target.grid.points))
         with telemetry.span("report.metrics", scenario=target.scenario.name,
                             n_points=len(target.grid.points)):
-            for pi, (overrides, compiled_point) in enumerate(
-                    zip(target.grid.points, target.grid.compiled)):
-                block = fetch.values[pi * draws:(pi + 1) * draws]
+            for (overrides, compiled_point), block in zip(
+                    zip(target.grid.points, target.grid.compiled), blocks):
                 timing = BatchedTiming.from_records(
                     block, meta=_point_meta(compiled_point))
                 ctx = MetricContext(compiled=compiled_point)
@@ -217,6 +224,9 @@ def run_report(
                     for field_name, arr in fields.items():
                         column = f"{metric.label}.{field_name}"
                         samples.setdefault(column, []).append(arr)
+        n_tasks += stream.n_tasks
+        n_loaded += stream.n_loaded
+        n_executed += stream.n_executed
 
     rows = []
     if owns_run:

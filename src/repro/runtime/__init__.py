@@ -16,8 +16,12 @@ into first-class, schedulable work:
   across cores, stream results back as they complete, and isolate
   per-task failures instead of killing the campaign.
 - :mod:`repro.runtime.store` — a content-addressed on-disk result store
-  (JSON + NPZ side-car, keyed by the task hash) so repeated invocations
-  skip already-computed runs.
+  (packed append-only shards with a sidecar index and mmap reads, plus
+  the legacy JSON + NPZ per-file layout, keyed by the task hash) so
+  repeated invocations skip already-computed runs.
+- :mod:`repro.runtime.shards` — the packed shard backend: per-process
+  append-only shard files, index recovery from self-describing entries,
+  and zero-copy array reconstruction over memory maps.
 - :mod:`repro.runtime.aggregate` — reduction helpers (mean / percentile
   across runs, grouping by sweep parameter) consumed by the campaign
   analyses.
@@ -58,12 +62,13 @@ from repro.runtime.executor import (
 )
 from repro.runtime.seeding import derive_rng, derive_seed, seed_sequence
 from repro.runtime.spec import RunSpec, SweepSpec, canonical, spec_key
-from repro.runtime.store import GcStats, ResultStore, StoreEntry
+from repro.runtime.store import GcStats, MigrateStats, ResultStore, StoreEntry
 
 __all__ = [
     "AggregationError",
     "CampaignResult",
     "GcStats",
+    "MigrateStats",
     "ResultStore",
     "StoreEntry",
     "RunSpec",

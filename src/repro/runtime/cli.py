@@ -3,14 +3,19 @@
 ::
 
     repro-experiment store ls --cache-dir DIR [--json]
+    repro-experiment store migrate --cache-dir DIR [--dry-run]
     repro-experiment store gc --cache-dir DIR [--dry-run]
 
 ``ls`` lists every cached task result with its spec key, owning task
-function, derived seed, and on-disk size.  ``gc`` prunes unreferenced
-blobs — orphaned NPZ side-cars, unreadable/torn JSON records, temp files
-abandoned by interrupted writes, telemetry JSONL no ledger record
-references, and torn run-ledger records — without ever touching a valid
-record; until now the cache could only grow.
+function, derived seed, and on-disk size — packed shard records straight
+from the shard indexes, per-file records via their trailing headers.
+``migrate`` packs the per-file records into append-only shards (get()
+results stay byte-identical; the originals remain until ``gc`` prunes
+them).  ``gc`` prunes unreferenced blobs — orphaned NPZ side-cars,
+unreadable/torn JSON records, valid records whose NPZ side-car is
+corrupt, packed-over per-file originals, temp files abandoned by
+interrupted writes, telemetry JSONL no ledger record references, and
+torn run-ledger records — without ever touching a live record.
 """
 
 from __future__ import annotations
@@ -45,6 +50,14 @@ def build_store_parser() -> argparse.ArgumentParser:
     p_ls.add_argument("--json", action="store_true", dest="as_json",
                       help="machine-readable output")
 
+    p_mig = sub.add_parser("migrate",
+                           help="pack per-file records into append-only "
+                                "shards (byte-identical reads)")
+    p_mig.add_argument("--cache-dir", required=True, metavar="DIR",
+                       help="result store directory")
+    p_mig.add_argument("--dry-run", action="store_true",
+                       help="report what would be packed without writing")
+
     p_gc = sub.add_parser("gc", help="prune unreferenced blobs "
                                      "(orphan NPZ, torn records, temp files)")
     p_gc.add_argument("--cache-dir", required=True, metavar="DIR",
@@ -68,7 +81,7 @@ def _cmd_ls(args) -> int:
                 {"key": e.key, "fn": e.fn, "seed": e.seed,
                  "n_arrays": e.n_arrays, "json_bytes": e.json_bytes,
                  "npz_bytes": e.npz_bytes, "total_bytes": e.total_bytes,
-                 "mtime": e.mtime}
+                 "mtime": e.mtime, "packed": e.packed}
                 for e in entries
             ],
             indent=2,
@@ -79,10 +92,24 @@ def _cmd_ls(args) -> int:
         return 0
     for e in entries:
         arrays = f" +{e.n_arrays} array(s)" if e.n_arrays else ""
+        packed = " [packed]" if e.packed else ""
         print(f"{e.key}  {_human_bytes(e.total_bytes):>10}  "
-              f"{e.fn or '(no spec)'}{arrays}")
+              f"{e.fn or '(no spec)'}{arrays}{packed}")
     total = sum(e.total_bytes for e in entries)
-    print(f"[{len(entries)} result(s), {_human_bytes(total)} in {store.root}]")
+    n_packed = sum(1 for e in entries if e.packed)
+    print(f"[{len(entries)} result(s) ({n_packed} packed), "
+          f"{_human_bytes(total)} in {store.root}]")
+    return 0
+
+
+def _cmd_migrate(args) -> int:
+    store = ResultStore(args.cache_dir)
+    stats = store.migrate(dry_run=args.dry_run)
+    verb = "would pack" if args.dry_run else "packed"
+    print(f"[{verb} {stats.n_packed} record(s) "
+          f"({_human_bytes(stats.bytes_packed)}) into shards; "
+          f"{stats.n_already} already packed, {stats.n_skipped} unreadable "
+          f"(left for gc); originals remain until 'store gc']")
     return 0
 
 
@@ -91,7 +118,9 @@ def _cmd_gc(args) -> int:
     stats = store.gc(dry_run=args.dry_run, min_age_s=args.min_age)
     verb = "would remove" if args.dry_run else "removed"
     print(f"[{verb} {stats.n_removed} file(s): {stats.n_orphan_npz} orphan "
-          f"NPZ, {stats.n_corrupt} torn record(s), {stats.n_tmp} temp "
+          f"NPZ, {stats.n_corrupt} torn record(s), "
+          f"{stats.n_corrupt_npz} corrupt-NPZ pair(s), "
+          f"{stats.n_migrated} packed original(s), {stats.n_tmp} temp "
           f"file(s), {stats.n_orphan_telemetry} orphan telemetry, "
           f"{stats.n_torn_runs} torn run record(s); "
           f"{_human_bytes(stats.bytes_freed)} freed]")
@@ -100,7 +129,8 @@ def _cmd_gc(args) -> int:
 
 def store_main(argv: "list[str] | None" = None) -> int:
     args = build_store_parser().parse_args(argv)
-    return {"ls": _cmd_ls, "gc": _cmd_gc}[args.command](args)
+    return {"ls": _cmd_ls, "migrate": _cmd_migrate,
+            "gc": _cmd_gc}[args.command](args)
 
 
 if __name__ == "__main__":

@@ -1,14 +1,29 @@
 """Content-addressed on-disk result store for campaign runs.
 
-Each task result lives under the cache root at a path derived from the
-task's content hash (:func:`repro.runtime.spec.spec_key`): a JSON record
-for plain data plus an optional ``.npz`` side-car for ndarray fields.
-Because the address is a pure function of the task description, a rerun
-of the same campaign — same function, parameters, and derived seed —
-finds its results already on disk and skips the simulation entirely,
-while any change to the spec transparently misses the cache.
+Every task result is addressed by the task's content hash
+(:func:`repro.runtime.spec.spec_key`), so a rerun of the same campaign —
+same function, parameters, and derived seed — finds its results already
+on disk and skips the simulation entirely, while any change to the spec
+transparently misses the cache.
 
-Writes are atomic (temp file + ``os.replace``) so concurrent campaign
+Two layouts implement that address space:
+
+- **per-file** (the legacy layout): one JSON record per task under a
+  two-level fan-out, plus an optional ``.npz`` side-car for ndarray
+  fields.  Simple and greppable, but at campaign scale the directory
+  scans and per-file open/parse dominate.
+- **packed** (:mod:`repro.runtime.shards`): append-only shard files of
+  length-prefixed records with raw array segments, a sidecar index per
+  shard, and memory-mapped zero-copy reads.  Listing a 10k-record store
+  parses a handful of index files instead of touching 10k records.
+
+A store auto-detects the packed layout (a ``shards/`` directory under
+the root activates it for writes), keeps **legacy records readable
+forever**, and :meth:`ResultStore.migrate` packs them — byte-identical
+``get()`` results before and after, with :meth:`ResultStore.gc` pruning
+the packed originals.  Writes are concurrent-multi-writer safe in both
+layouts: per-file writes are atomic (temp file + ``os.replace``) and
+packed writes go to per-process shard files, so concurrent campaign
 processes sharing one cache directory never observe torn records.
 """
 
@@ -16,8 +31,10 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 import time
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
@@ -25,15 +42,23 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro import telemetry
+from repro.runtime.shards import PackedShards, SHARD_DIR
 
-__all__ = ["GcStats", "ResultStore", "StoreEntry"]
+__all__ = ["GcStats", "MigrateStats", "ResultStore", "StoreEntry"]
 
 _FORMAT_VERSION = 1
 _ARRAYS_MARKER = "__arrays__"
 
+#: Exceptions a corrupt/truncated NPZ side-car can raise from ``np.load``
+#: or member access.  ``zipfile.BadZipFile`` (garbage/torn zip) and
+#: ``ValueError`` (damaged npy member, pickled payloads with
+#: ``allow_pickle=False``) are *not* ``OSError`` subclasses — a handler
+#: missing them turns one corrupt side-car into a crashed campaign.
+_NPZ_ERRORS = (OSError, KeyError, ValueError, zipfile.BadZipFile)
+
 
 def _split_arrays(value: Mapping) -> "tuple[dict, dict]":
-    """Separate ndarray fields (NPZ side-car) from plain JSON fields."""
+    """Separate ndarray fields (array payloads) from plain JSON fields."""
     plain, arrays = {}, {}
     for name, item in value.items():
         if not isinstance(name, str):
@@ -53,8 +78,10 @@ class StoreEntry:
 
     ``fn`` and ``seed`` come from the provenance ``spec`` the executor
     records next to each value; they are ``None`` for records written
-    without one.  Sizes and ``mtime`` come from ``stat()`` — listing a
-    store never reads result payloads.
+    without one.  For per-file records, sizes and ``mtime`` come from
+    ``stat()``; for packed records, sizes come from the shard index and
+    ``mtime`` is the owning shard file's.  Listing a store never reads
+    result payloads in either layout.
     """
 
     key: str
@@ -64,6 +91,7 @@ class StoreEntry:
     seed: "int | None"
     n_arrays: int
     mtime: float = 0.0
+    packed: bool = False
 
     @property
     def total_bytes(self) -> int:
@@ -80,11 +108,28 @@ class GcStats:
     bytes_freed: int
     n_orphan_telemetry: int = 0  # telemetry/ files no ledger record names
     n_torn_runs: int = 0  # unreadable runs/ ledger records
+    n_corrupt_npz: int = 0  # valid-JSON records with an unreadable side-car
+    n_migrated: int = 0  # per-file originals already packed into shards
 
     @property
     def n_removed(self) -> int:
         return (self.n_orphan_npz + self.n_corrupt + self.n_tmp
-                + self.n_orphan_telemetry + self.n_torn_runs)
+                + self.n_orphan_telemetry + self.n_torn_runs
+                + self.n_corrupt_npz + self.n_migrated)
+
+
+@dataclass(frozen=True)
+class MigrateStats:
+    """What one :meth:`ResultStore.migrate` pass packed."""
+
+    n_packed: int  # per-file records appended to shards
+    n_already: int  # keys already present in the packed index
+    n_skipped: int  # unreadable records left for gc
+    bytes_packed: int  # legacy bytes now also represented in shards
+
+    @property
+    def n_records(self) -> int:
+        return self.n_packed + self.n_already + self.n_skipped
 
 
 class ResultStore:
@@ -94,36 +139,78 @@ class ResultStore:
     ----------
     root:
         Cache directory (created on first write; ``~`` is expanded).
+    layout:
+        ``"auto"`` (default) writes packed records iff the store has a
+        ``shards/`` directory (i.e. was migrated or born packed) and
+        per-file records otherwise; ``"packed"`` / ``"file"`` force a
+        layout for new writes.  Reads always consult both layouts.
     """
 
-    def __init__(self, root: "str | Path") -> None:
+    _LAYOUTS = ("auto", "file", "packed")
+
+    def __init__(self, root: "str | Path", layout: str = "auto") -> None:
         self.root = Path(root).expanduser()
+        if layout not in self._LAYOUTS:
+            raise ValueError(
+                f"layout must be one of {self._LAYOUTS}, got {layout!r}")
+        self.layout = layout
+        self._shards = PackedShards(self.root / SHARD_DIR)
 
     # -- addressing ---------------------------------------------------
 
     def path_for(self, key: str) -> Path:
-        """JSON record path for a content hash (two-level fan-out)."""
-        if not key or any(c not in "0123456789abcdef" for c in key):
+        """JSON record path for a content hash (two-level fan-out).
+
+        Keys shorter than the two-character fan-out prefix are rejected:
+        they would be writable but invisible to ``keys()``/``gc()``.
+        """
+        if len(key) < 2 or any(c not in "0123456789abcdef" for c in key):
             raise ValueError(f"malformed store key: {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
     def _npz_path(self, key: str) -> Path:
         return self.path_for(key).with_suffix(".npz")
 
+    @property
+    def packed_active(self) -> bool:
+        """Whether new writes go to packed shards."""
+        if self.layout == "packed":
+            return True
+        if self.layout == "file":
+            return False
+        return self._shards.exists
+
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        return self.path_for(key).exists() or key in self._shards
 
     # -- read ---------------------------------------------------------
 
-    def get(self, key: str) -> "dict | None":
+    def get(self, key: str, mmap: bool = False) -> "dict | None":
         """Load the stored result for ``key``, or ``None`` on a miss.
 
-        A record whose JSON is unreadable (torn by a crash predating the
-        atomic-write path, or hand-edited) counts as a miss: the task is
+        A record whose bytes are unreadable — JSON torn by a crash
+        predating the atomic-write path, a corrupt/truncated NPZ
+        side-car, a torn shard tail — counts as a miss: the task is
         simply recomputed and the record rewritten.
+
+        With ``mmap=True``, array fields of *packed* records are
+        returned as read-only zero-copy views into the shard's memory
+        map (per-file records still load normally); callers that mutate
+        result arrays must use the default copying read.
         """
-        path = self.path_for(key)
         with telemetry.span("store.get") as sp:
+            packed = self._shards.read(key, mmap=mmap) \
+                if self._shards.exists else None
+            if packed is not None:
+                record, value = packed
+                telemetry.count("store.get.hits")
+                entry = self._shards.lookup(key)
+                nbytes = (entry.json_len + entry.arr_len) if entry else 0
+                telemetry.count("store.read_bytes", nbytes)
+                sp.set(bytes=nbytes, n_arrays=len(record.get("arrays", {})),
+                       packed=True)
+                return value
+            path = self.path_for(key)
             try:
                 text = path.read_text()
                 record = json.loads(text)
@@ -137,7 +224,7 @@ class ResultStore:
                     with np.load(self._npz_path(key)) as npz:
                         for name in array_fields:
                             value[name] = npz[name]
-                except (OSError, KeyError):
+                except _NPZ_ERRORS:
                     telemetry.count("store.get.misses")
                     return None
             telemetry.count("store.get.hits")
@@ -148,19 +235,31 @@ class ResultStore:
     # -- write --------------------------------------------------------
 
     def put(self, key: str, value: Mapping, spec: "Mapping | None" = None) -> Path:
-        """Persist one task result (atomically); returns the JSON path.
+        """Persist one task result; returns the record (or shard) path.
 
         ``value`` must be a mapping of str field names to JSON-able data
         or :class:`numpy.ndarray`.  ``spec`` (e.g. ``RunSpec.describe()``)
-        is recorded alongside for provenance and debuggability.
+        is recorded alongside for provenance and debuggability.  The
+        write is concurrency-safe in both layouts (atomic replace for
+        per-file records, a per-process append-only shard for packed
+        ones).
         """
         if not isinstance(value, Mapping):
             raise TypeError(
                 f"task results must be mappings, got {type(value).__name__}; "
                 "return a dict of named fields from the task function"
             )
+        self.path_for(key)  # validate the key in either layout
         with telemetry.span("store.put") as sp:
             plain, arrays = _split_arrays(value)
+            if self.packed_active:
+                path = self._shards.append(key, plain, arrays, spec=spec)
+                entry = self._shards.lookup(key)
+                nbytes = (entry.json_len + entry.arr_len) if entry else 0
+                telemetry.count("store.puts")
+                telemetry.count("store.write_bytes", nbytes)
+                sp.set(bytes=nbytes, n_arrays=len(arrays), packed=True)
+                return path
             path = self.path_for(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             if arrays:
@@ -198,26 +297,98 @@ class ResultStore:
                 pass
             raise
 
+    # -- migration ----------------------------------------------------
+
+    def migrate(self, dry_run: bool = False) -> MigrateStats:
+        """Pack every readable per-file record into shards.
+
+        The per-file originals are left in place (a concurrent reader
+        may be mid-``get``); :meth:`gc` prunes any original whose key is
+        already packed.  ``get()`` results are byte-identical before and
+        after — plain fields round-trip through canonical JSON and array
+        fields through their raw bytes with dtype/shape/order preserved.
+        Unreadable records are skipped (they were already misses) and
+        left for :meth:`gc`.
+
+        With ``dry_run`` nothing is written and the stats report what a
+        real pass would pack.
+        """
+        n_packed = n_already = n_skipped = packed_bytes = 0
+        with telemetry.span("store.migrate") as sp:
+            for key in self._file_keys():
+                if key in self._shards:
+                    n_already += 1
+                    continue
+                path = self.path_for(key)
+                try:
+                    record = json.loads(path.read_text())
+                    value = dict(record.get("value", {}))
+                    nbytes = path.stat().st_size
+                    array_fields = record.get(_ARRAYS_MARKER, [])
+                    if array_fields:
+                        npz_path = self._npz_path(key)
+                        with np.load(npz_path) as npz:
+                            for name in array_fields:
+                                value[name] = npz[name]
+                        nbytes += npz_path.stat().st_size
+                except (*_NPZ_ERRORS, json.JSONDecodeError):
+                    n_skipped += 1
+                    continue
+                if not dry_run:
+                    plain, arrays = _split_arrays(value)
+                    self._shards.append(key, plain, arrays,
+                                        spec=record.get("spec"))
+                n_packed += 1
+                packed_bytes += nbytes
+            sp.set(n_packed=n_packed, n_already=n_already,
+                   n_skipped=n_skipped)
+            telemetry.count("store.migrate.packed", n_packed)
+        return MigrateStats(n_packed=n_packed, n_already=n_already,
+                            n_skipped=n_skipped, bytes_packed=packed_bytes)
+
     # -- maintenance --------------------------------------------------
 
-    def keys(self) -> Iterator[str]:
-        """All content hashes currently stored."""
+    def _file_keys(self) -> "Iterator[str]":
+        """Content hashes stored in the per-file layout."""
         if not self.root.exists():
             return
         for path in sorted(self.root.glob("??/*.json")):
             yield path.stem
 
+    def keys(self) -> Iterator[str]:
+        """All content hashes currently stored (both layouts, deduped)."""
+        packed = set(self._shards.keys()) if self._shards.exists else set()
+        seen = set()
+        for key in self._file_keys():
+            seen.add(key)
+            yield key
+        for key in sorted(packed - seen):
+            yield key
+
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Delete every stored record; returns how many were removed."""
-        n = 0
-        for key in list(self.keys()):
-            self.path_for(key).unlink(missing_ok=True)
-            self._npz_path(key).unlink(missing_ok=True)
-            n += 1
-        return n
+        """Delete every stored record; returns how many keys were removed.
+
+        Unlike :meth:`gc`, this is unconditional: both layouts, orphaned
+        ``.npz`` side-cars whose JSON record is already gone, and the
+        emptied fan-out directories are all removed.
+        """
+        removed: "set[str]" = set()
+        for path in list(self.root.glob("??/*.json")) \
+                + list(self.root.glob("??/*.npz")):
+            removed.add(path.stem)
+            path.unlink(missing_ok=True)
+        for sub in self.root.glob("??"):
+            if sub.is_dir() and not any(sub.iterdir()):
+                sub.rmdir()
+        if self._shards.exists:
+            removed.update(self._shards.keys())
+            self._shards._close_writer()
+            shutil.rmtree(self._shards.root, ignore_errors=True)
+            self._shards = PackedShards(self.root / SHARD_DIR)
+        return len(removed)
 
     #: How much of a record's tail to read when listing it.  The header
     #: fields (``__arrays__`` + ``spec``) are written after the payload,
@@ -265,12 +436,33 @@ class ResultStore:
         """Metadata of every readable record (unreadable ones are skipped;
         :meth:`gc` is the tool that deals with those).
 
-        Sizes and modification times come from ``stat()`` and only the
-        trailing header fields (``__arrays__``, ``spec``) are parsed —
-        listing a store of multi-megabyte records never deserializes
-        their payloads.
+        Packed records list from the shard indexes alone — no record
+        bytes are touched.  Per-file records read ``stat()`` plus the
+        trailing header fields (``__arrays__``, ``spec``); a key present
+        in both layouts (a migrated original not yet gc'd) lists once,
+        from the packed side.
         """
-        for key in self.keys():
+        packed_keys: "set[str]" = set()
+        if self._shards.exists:
+            shard_mtimes: "dict[str, float]" = {}
+            for entry in self._shards.entries():
+                packed_keys.add(entry.key)
+                if entry.shard not in shard_mtimes:
+                    shard_mtimes[entry.shard] = \
+                        self._shards.shard_mtime(entry.shard)
+                yield StoreEntry(
+                    key=entry.key,
+                    json_bytes=entry.json_len,
+                    npz_bytes=entry.arr_len,
+                    fn=entry.fn,
+                    seed=entry.seed,
+                    n_arrays=entry.n_arrays,
+                    mtime=shard_mtimes[entry.shard],
+                    packed=True,
+                )
+        for key in self._file_keys():
+            if key in packed_keys:
+                continue
             path = self.path_for(key)
             try:
                 st = path.stat()
@@ -309,8 +501,14 @@ class ResultStore:
           the atomic-write path, or hand-edited) — these already count
           as misses, so dropping them (and their side-cars) only frees
           space;
+        - JSON records that parse but whose NPZ side-car is corrupt or
+          truncated — without this they poison the cache forever: every
+          ``get`` re-misses, every recompute rewrites, and the broken
+          pair survives;
+        - per-file originals whose key is already packed into shards
+          (what :meth:`migrate` leaves behind for concurrent readers);
         - temp files abandoned by interrupted writes (in the record
-          fan-out and in ``runs/``);
+          fan-out, in ``shards/``, and in ``runs/``);
         - ``telemetry/`` JSONL files no valid ledger record references —
           profiled runs whose ledger entry is gone (or that predate the
           ledger) leave their telemetry behind forever otherwise;
@@ -321,13 +519,16 @@ class ResultStore:
         may be mid-write (its NPZ lands before its JSON record, a
         profiled run's telemetry before its ledger record), and
         unlinking its in-flight files would lose data it is about to
-        reference.  Valid store records *and valid ledger records* are
-        never touched — the ledger is provenance, not cache.
+        reference.  Valid store records (in either layout, minus packed
+        duplicates) *and valid ledger records* are never touched — the
+        ledger is provenance, not cache.  Emptied fan-out directories
+        are removed at the end of a real (non-dry-run) pass.
 
         With ``dry_run`` nothing is deleted and the stats report what a
         real pass would remove.
         """
         n_orphan = n_corrupt = n_tmp = n_tele = n_torn_runs = freed = 0
+        n_corrupt_npz = n_migrated = 0
         if not self.root.exists():
             return GcStats(0, 0, 0, 0)
 
@@ -348,6 +549,14 @@ class ResultStore:
             except OSError:
                 return False  # already gone (e.g. the writer finished)
 
+        packed_keys: "set[str]" = set()
+        if self._shards.exists:
+            packed_keys = set(self._shards.keys())
+            for path in sorted(self._shards.root.glob(".*")):
+                if old_enough(path):
+                    n_tmp += 1
+                    freed += remove(path)
+
         for path in sorted(self.root.glob("??/.*")):
             if not old_enough(path):
                 continue
@@ -355,11 +564,29 @@ class ResultStore:
             freed += remove(path)
         for path in sorted(self.root.glob("??/*.json")):
             try:
-                json.loads(path.read_text())
+                record = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
                 n_corrupt += 1
                 freed += remove(path)
                 freed += remove(path.with_suffix(".npz"))
+                continue
+            if path.stem in packed_keys:
+                n_migrated += 1
+                freed += remove(path)
+                freed += remove(path.with_suffix(".npz"))
+                continue
+            if isinstance(record, dict) and record.get(_ARRAYS_MARKER):
+                # A record whose side-car is corrupt, truncated, or gone
+                # is dead weight: every get() is a miss, and only a
+                # rerun of that exact task would rewrite the pair.
+                npz = path.with_suffix(".npz")
+                try:
+                    with np.load(npz) as z:
+                        z.files
+                except _NPZ_ERRORS:
+                    n_corrupt_npz += 1
+                    freed += remove(path)
+                    freed += remove(npz)
         for path in sorted(self.root.glob("??/*.npz")):
             if not path.with_suffix(".json").exists() and old_enough(path):
                 n_orphan += 1
@@ -402,9 +629,16 @@ class ResultStore:
                     n_tele += 1
                     freed += remove(path)
 
+        if not dry_run:
+            for sub in self.root.glob("??"):
+                if sub.is_dir() and not any(sub.iterdir()):
+                    sub.rmdir()
+
         telemetry.count("store.gc.removed",
-                        n_orphan + n_corrupt + n_tmp + n_tele + n_torn_runs)
+                        n_orphan + n_corrupt + n_tmp + n_tele + n_torn_runs
+                        + n_corrupt_npz + n_migrated)
         telemetry.count("store.gc.bytes_freed", freed)
         return GcStats(n_orphan_npz=n_orphan, n_corrupt=n_corrupt,
                        n_tmp=n_tmp, bytes_freed=freed,
-                       n_orphan_telemetry=n_tele, n_torn_runs=n_torn_runs)
+                       n_orphan_telemetry=n_tele, n_torn_runs=n_torn_runs,
+                       n_corrupt_npz=n_corrupt_npz, n_migrated=n_migrated)
