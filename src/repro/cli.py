@@ -30,6 +30,10 @@ Usage::
     repro-experiment runs show RUN_ID --cache-dir ~/.cache/repro
     repro-experiment runs tail -n 5 --cache-dir ~/.cache/repro
 
+    repro-experiment perf record --cache-dir ~/.cache/repro --run latest
+    repro-experiment perf history --cache-dir ~/.cache/repro
+    repro-experiment perf check --cache-dir ~/.cache/repro  # trend gate
+
     repro-experiment golden --check       # verify the golden-trace corpus
     repro-experiment golden --regen       # regenerate tests/golden/
 
@@ -82,22 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
             "('repro-experiment scenario --help')."
         ),
         epilog=(
-            "The 'scenario', 'report', 'store', 'stats', and 'runs' "
-            "commands delegate to their own subcommands: repro-experiment "
-            "scenario {list,validate,run,sweep}, repro-experiment report "
-            "{list,validate,run}, repro-experiment store {ls,migrate,gc}, "
-            "repro-experiment stats {show,summarize,diff}, "
-            "repro-experiment runs {ls,show,tail} ..."
+            "The 'scenario', 'report', 'store', 'stats', 'runs', and "
+            "'perf' commands delegate to their own subcommands: "
+            "repro-experiment scenario {list,validate,run,sweep}, "
+            "repro-experiment report {list,validate,run}, "
+            "repro-experiment store {ls,migrate,gc}, "
+            "repro-experiment stats {show,summarize,diff,trace}, "
+            "repro-experiment runs {ls,show,tail}, "
+            "repro-experiment perf {record,history,diff,check} ..."
         ),
     )
     parser.add_argument(
         "experiment",
         choices=[*sorted(EXPERIMENTS), "all", "list", "scenario", "report",
-                 "store", "stats", "runs", "golden"],
+                 "store", "stats", "runs", "perf", "golden"],
         help=(
             "experiment id (paper figure), 'all', 'list', 'scenario' / "
-            "'report' / 'store' / 'stats' / 'runs' (see epilog), or "
-            "'golden' (golden-trace corpus)"
+            "'report' / 'store' / 'stats' / 'runs' / 'perf' (see epilog), "
+            "or 'golden' (golden-trace corpus)"
         ),
     )
     parser.add_argument(
@@ -173,6 +179,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs.cli import runs_main
 
         return runs_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.perf.cli import perf_main
+
+        return perf_main(argv[1:])
     if argv and argv[0] == "golden":
         from repro.golden import golden_main
 
@@ -180,7 +190,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     args = build_parser().parse_args(argv)
     if args.experiment in ("scenario", "report", "store", "stats", "runs",
-                           "golden"):
+                           "perf", "golden"):
         # Reachable only when the subcommand is not the first token (e.g.
         # 'repro-experiment --seed 3 scenario'); its own arguments cannot
         # be recovered once argparse consumed the flags.

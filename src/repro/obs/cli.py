@@ -3,14 +3,16 @@
 ::
 
     repro-experiment runs ls --cache-dir DIR [--json] [--name N] [--status S]
-    repro-experiment runs show RUN_ID --cache-dir DIR [--json]
+    repro-experiment runs show RUN_ID --cache-dir DIR [--json] [--telemetry]
     repro-experiment runs tail --cache-dir DIR [-n N] [--json]
 
 ``ls`` lists every recorded run (filterable by scenario/report name and
 status); ``show`` reconstructs one run's full provenance — spec key,
-seed root, engine, cache economics, failure summaries, telemetry file,
-artifact paths — from its ledger record (unambiguous id prefixes work);
-``tail`` shows the most recent records.
+seed root, engine, cache economics, worker health (stalls, heartbeats,
+peak RSS), failure summaries, telemetry file, artifact paths — from its
+ledger record (unambiguous id prefixes work), and with ``--telemetry``
+renders the linked telemetry summary inline; ``tail`` shows the most
+recent records.
 """
 
 from __future__ import annotations
@@ -49,6 +51,10 @@ def build_runs_parser() -> argparse.ArgumentParser:
                         help="cache directory holding the runs/ ledger")
     p_show.add_argument("--json", action="store_true", dest="as_json",
                         help="print the raw ledger record")
+    p_show.add_argument("--telemetry", action="store_true",
+                        dest="with_telemetry",
+                        help="also render the run's linked telemetry "
+                             "summary (phase breakdown, hit rates)")
 
     p_tail = sub.add_parser("tail", help="most recent runs")
     p_tail.add_argument("--cache-dir", required=True, metavar="DIR",
@@ -137,6 +143,14 @@ def _cmd_show(args) -> int:
         ("events", r.get("n_events")),
         ("telemetry", r.get("telemetry") or "-"),
     ]
+    # v2 worker-health fields: only shown when the record carries them,
+    # so v1 records render exactly as before.
+    if r.get("version", 1) >= 2:
+        rows.extend([
+            ("stalls", r.get("n_stalls")),
+            ("heartbeats", r.get("n_heartbeats")),
+            ("worker rss peak", _fmt_bytes(r.get("worker_rss_peak_bytes"))),
+        ])
     for label, value in rows:
         print(f"  {label:<16} {value if value is not None else '-'}")
     artifacts = r.get("artifacts") or []
@@ -145,6 +159,43 @@ def _cmd_show(args) -> int:
         print(f"    {path}")
     for failure in r.get("failures") or []:
         print(f"  failure: {failure.splitlines()[0]}")
+    if args.with_telemetry:
+        return _show_telemetry(r)
+    return 0
+
+
+def _fmt_bytes(n: "int | None") -> str:
+    if not n:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _show_telemetry(record: dict) -> int:
+    """Render the run's linked telemetry inline (``runs show --telemetry``).
+
+    Reuses the stats CLI's loader so a missing/unreadable/empty file
+    produces the same one-line ``stats error`` diagnostics users already
+    know from ``stats show`` — not a traceback, not a silent skip.
+    """
+    from repro.telemetry.cli import StatsError, _load
+    from repro.telemetry.sinks import render_summary
+
+    path = record.get("telemetry")
+    if not path:
+        print("stats error: run has no linked telemetry (was it run with "
+              "--profile?)", file=sys.stderr)
+        return 1
+    try:
+        snap = _load(path)
+    except StatsError as exc:
+        print(f"stats error: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(render_summary(snap))
     return 0
 
 

@@ -58,11 +58,20 @@ EVENT_VERSION = 1
 #: The typed lifecycle vocabulary.  ``emit`` does not enforce membership
 #: (forward compatibility for downstream consumers), but events outside
 #: this set are invisible to the progress renderer and the run tracker.
+#:
+#: The ``worker.*`` family and ``task.stall`` are **pool-only**: they
+#: describe wall-clock health (heartbeats, stalled tasks) that serial
+#: runs never emit, so the ``--jobs 1`` identity-stream determinism
+#: contract above is unaffected.  Their payloads still follow the rules
+#: (no durations or timestamps in ``data``) — resource figures like
+#: ``rss_bytes`` are measurements, carried because these events are
+#: already outside the identity contract by construction.
 KNOWN_EVENTS = frozenset({
     "run.start", "run.finish",
     "task.submit", "task.start", "task.done", "task.failed",
-    "task.cache_hit",
+    "task.cache_hit", "task.stall",
     "block.dispatch", "block.fallback",
+    "worker.heartbeat",
     "report.phase",
 })
 
@@ -118,6 +127,16 @@ class EventBus:
             self.subscribers.remove(callback)
 
     # -- inspection ---------------------------------------------------
+
+    @property
+    def t0(self) -> float:
+        """The bus epoch: ``perf_counter()`` at creation.
+
+        Event ``t`` values are relative to it; consumers that must line
+        events up with telemetry spans (whose starts live in the raw
+        ``perf_counter`` domain) add it back.
+        """
+        return self._t0
 
     def __len__(self) -> int:
         return len(self.events)

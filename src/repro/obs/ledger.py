@@ -29,7 +29,9 @@ __all__ = ["RUN_RECORD_VERSION", "RunLedger", "RunTracker", "new_run_id",
            "render_run_summary"]
 
 #: Schema version of ledger records; bump together with field changes.
-RUN_RECORD_VERSION = 1
+#: v2 added the worker-health fields: ``n_stalls``, ``n_heartbeats``,
+#: ``worker_rss_peak_bytes``.
+RUN_RECORD_VERSION = 2
 
 #: Failure summaries kept per record — enough to diagnose, bounded so a
 #: 10k-task wreck cannot bloat the ledger.
@@ -65,6 +67,9 @@ class RunTracker:
         self.n_done = 0
         self.n_cached = 0
         self.n_failed = 0
+        self.n_stalls = 0
+        self.n_heartbeats = 0
+        self.worker_rss_peak_bytes = 0
         self.n_events = 0
         self.failures: "list[str]" = []
         self.failed_tasks: "list[int]" = []
@@ -100,6 +105,14 @@ class RunTracker:
                 self.n_failed += 1
                 if data.get("index") is not None:
                     self.failed_tasks.append(int(data["index"]))
+        elif name == "task.stall":
+            self.n_stalls += 1
+        elif name == "worker.heartbeat":
+            self.n_heartbeats += 1
+            rss = data.get("rss_bytes")
+            if rss is not None:
+                self.worker_rss_peak_bytes = max(
+                    self.worker_rss_peak_bytes, int(rss))
         elif name == "run.finish":
             self.run_finished = True
             self.finish_status = data.get("status", self.finish_status)
@@ -146,6 +159,9 @@ class RunTracker:
             "finished_unix": finished_unix,
             "failures": list(self.failures),
             "failed_tasks": sorted(self.failed_tasks)[:_MAX_FAILURES],
+            "n_stalls": self.n_stalls,
+            "n_heartbeats": self.n_heartbeats,
+            "worker_rss_peak_bytes": self.worker_rss_peak_bytes,
             "telemetry": self.telemetry,
             "artifacts": list(self.artifacts),
             "n_events": self.n_events,
@@ -160,9 +176,11 @@ def render_run_summary(record: dict) -> str:
     """
     status = record["status"]
     mark = "" if status == "ok" else f" {status.upper()}"
+    stalls = (f", {record['n_stalls']} stall(s)"
+              if record.get("n_stalls") else "")
     return (f"[run {record['id']}{mark}: {record['n_tasks']} task(s), "
             f"{record['n_failed']} failed, {record['n_cached']} cache "
-            f"hit(s), {record['wall_s']:.2f}s]")
+            f"hit(s){stalls}, {record['wall_s']:.2f}s]")
 
 
 class RunLedger:

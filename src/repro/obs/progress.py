@@ -58,6 +58,7 @@ class ProgressRenderer:
         self.done = 0
         self.cached = 0
         self.failed = 0
+        self.stalled = 0
         self.phase: "str | None" = None
         self._t0 = time.perf_counter()
         self._last_paint = 0.0
@@ -86,6 +87,8 @@ class ProgressRenderer:
                 self.failed += 1
             else:
                 self._note_completion()
+        elif name == "task.stall":
+            self.stalled += 1
         elif name == "report.phase":
             self.phase = data.get("phase")
         elif name == "run.finish":
@@ -118,6 +121,8 @@ class ProgressRenderer:
             parts.append(f"cache {100.0 * self.cached / self.done:.0f}%")
         if self.failed:
             parts.append(f"{self.failed} failed")
+        if self.stalled:
+            parts.append(f"{self.stalled} stalled!")
         if self.phase:
             parts.append(f"phase={self.phase}")
         eta = self._eta()
@@ -150,9 +155,31 @@ class ProgressRenderer:
         self.stream.flush()
         self._last_len = len(line)
 
-    def finish(self) -> None:
-        """Clear the progress line (the exit summary replaces it)."""
+    def clear(self) -> None:
+        """Erase the in-progress line without terminating it.
+
+        Called before anything that must not share the line — a
+        traceback about to be printed, a ``KeyboardInterrupt`` unwind —
+        so diagnostics never concatenate onto half-painted progress.
+        Safe to call repeatedly or when nothing was ever painted.
+        """
         if self._last_len:
             self.stream.write("\r" + " " * self._last_len + "\r")
             self.stream.flush()
             self._last_len = 0
+
+    def finish(self) -> None:
+        """Paint the final state and terminate the line with a newline.
+
+        The last progress line stays in the scrollback (totals, cache
+        rate, failures) and — the hygiene contract — the cursor never
+        ends mid-line: whatever prints next (exit summary, shell prompt)
+        starts on a fresh line.  A renderer that saw no events writes
+        nothing.
+        """
+        if not self._last_len and not self.done and not self.stalled:
+            return
+        self._paint(self._line())
+        self.stream.write("\n")
+        self.stream.flush()
+        self._last_len = 0

@@ -78,7 +78,13 @@ def observe_run(kind: str, name: str, cache_dir=None,
         if not tracker.run_finished:
             events.emit("run.finish", status=status)
         if renderer is not None:
-            renderer.finish()
+            if status == "ok":
+                renderer.finish()
+            else:
+                # Failure path: the traceback (or ^C unwind) is about to
+                # print — erase the half-painted line instead of leaving
+                # it for the diagnostics to concatenate onto.
+                renderer.clear()
         events.disable()
 
         wall_s = time.perf_counter() - t0

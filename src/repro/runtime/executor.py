@@ -245,18 +245,23 @@ def _execute_unit(
     profile: bool = False,
     submit_t: "float | None" = None,
     observe: bool = False,
-) -> "tuple[list[tuple[str, Any, float]], dict | None, list | None]":
+) -> "tuple[list[tuple[str, Any, float]], dict | None, list | None, dict | None]":
     """Run one unit (a single task or a batched block) plus its telemetry.
 
-    Returns ``(outcomes, snapshot, events)`` where ``snapshot`` is the
-    unit's own telemetry and ``events`` its drained lifecycle events.
-    The pool backend passes ``profile=True`` / ``observe=True`` into its
+    Returns ``(outcomes, snapshot, events, health)`` where ``snapshot``
+    is the unit's own telemetry, ``events`` its drained lifecycle
+    events, and ``health`` a post-unit resource sample of the worker
+    process (:func:`repro.obs.health.sample_resources`) — the heartbeat
+    payload the parent turns into a ``worker.heartbeat`` event.  The
+    pool backend passes ``profile=True`` / ``observe=True`` into its
     worker processes, each of which records into a fresh recorder/bus of
     its own and ships the data back through the result channel;
     ``enable()`` here also discards the stale recorder/bus copy a
     fork-started worker inherits from a profiling parent.  The serial
     backend records straight into the caller's recorder and bus and
-    returns ``None`` for both.  ``submit_t`` is the parent's
+    returns ``None`` for snapshot, events, and health alike (serial runs
+    emit no heartbeats — see the determinism note in
+    :mod:`repro.obs.health`).  ``submit_t`` is the parent's
     ``perf_counter()`` at submission: ``perf_counter`` is system-wide
     monotonic on Linux, so the difference is the unit's pool queue wait.
     """
@@ -282,7 +287,12 @@ def _execute_unit(
         # growing) for every later unit this process executes.
         snap = telemetry.disable().snapshot() if owns else None
         drained = events.disable().drain() if owns_events else None
-    return outcomes, snap, drained
+    health = None
+    if owns or owns_events:
+        from repro.obs.health import sample_resources
+
+        health = sample_resources()
+    return outcomes, snap, drained, health
 
 
 def _plan_units(
@@ -336,6 +346,7 @@ def run_campaign(
     store: "ResultStore | None" = None,
     on_result: "Callable[[TaskResult], None] | None" = None,
     batcher: "TaskBatcher | None" = None,
+    watchdog: "Any | None" = None,
 ) -> CampaignResult:
     """Execute a campaign of tasks, sharded, cached, and optionally batched.
 
@@ -358,6 +369,12 @@ def run_campaign(
         cache misses into blocks executed by one call each.  Results,
         cache addressing, and failure semantics are unchanged — batching
         only reduces per-task invocation overhead.
+    watchdog:
+        Optional :class:`repro.obs.health.StallWatchdog` for the pool
+        backend.  When an event bus is live and none is given, a default
+        watchdog is installed; pass one to tune its thresholds (tests
+        inject aggressive ones).  Serial runs never use it — stall
+        detection is pool-only by the determinism contract.
 
     Returns
     -------
@@ -414,12 +431,12 @@ def run_campaign(
             if jobs == 1 or len(units) <= 1:
                 for unit in units:
                     _emit_dispatch(unit)
-                    outcomes, _, _ = _execute_unit(
+                    outcomes, _, _, _ = _execute_unit(
                         tuple(spec for _, spec in unit), batcher)
                     for (pos, spec), outcome in zip(unit, outcomes):
                         finish(pos, _as_task_result(spec, *outcome))
             else:
-                _run_pool(units, jobs, batcher, finish)
+                _run_pool(units, jobs, batcher, finish, watchdog)
     finally:
         if bus is not None:
             bus.unmark_in_run()
@@ -436,6 +453,7 @@ def _run_pool(
     jobs: int,
     batcher: "TaskBatcher | None",
     finish: "Callable[[int, TaskResult], None]",
+    watchdog: "Any | None" = None,
 ) -> None:
     """Shard execution units over a process pool, streaming completions.
 
@@ -447,6 +465,15 @@ def _run_pool(
     OS mid-task): the tasks that were in flight or still queued are
     recorded as failures and the campaign result stays complete — submit
     errors never propagate out of here.
+
+    When an event bus is live, the completion loop also runs worker
+    health plumbing: each returned unit's resource sample becomes a
+    ``worker.heartbeat`` event (plus ``worker.rss_bytes`` /
+    ``worker.cpu_s`` telemetry histograms), and between completions a
+    :class:`~repro.obs.health.StallWatchdog` scans the in-flight table,
+    emitting ``task.stall`` for units out far longer than the EWMA task
+    duration.  Neither path touches outcomes: health is observation
+    only.
     """
     from collections import deque
 
@@ -456,6 +483,10 @@ def _run_pool(
     retries: "deque[tuple[tuple[int, RunSpec], ...]]" = deque()
     profile = telemetry.enabled()
     observe = events.enabled()
+    if watchdog is None and observe:
+        from repro.obs.health import StallWatchdog
+
+        watchdog = StallWatchdog()
     telemetry.gauge("executor.jobs", max_workers)
 
     def fail_unit(unit, note: str) -> None:
@@ -475,10 +506,11 @@ def _run_pool(
                     break
                 spec_block = tuple(spec for _, spec in unit)
                 _emit_dispatch(unit)
+                submit_t = time.perf_counter()
                 try:
                     in_flight[pool.submit(
                         _execute_unit, spec_block, batcher, profile,
-                        time.perf_counter(), observe)] = unit
+                        submit_t, observe)] = (unit, submit_t)
                 except Exception:  # BrokenProcessPool, shutdown races
                     pool_broken = True
                     fail_unit(unit, "task not attempted: worker pool broke\n"
@@ -492,11 +524,17 @@ def _run_pool(
 
         refill()
         while in_flight:
-            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            timeout = watchdog.poll_s if watchdog is not None else None
+            done, _ = wait(in_flight, timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+            if watchdog is not None:
+                watchdog.scan(in_flight)
             for future in done:
-                unit = in_flight.pop(future)
+                unit, _submit_t = in_flight.pop(future)
+                if watchdog is not None:
+                    watchdog.forget(future)
                 try:
-                    outcomes, snap, drained = future.result()
+                    outcomes, snap, drained, health = future.result()
                 except Exception:  # worker death / pickling failure
                     if len(unit) > 1:
                         # Don't fail the whole block for one bad task:
@@ -512,8 +550,12 @@ def _run_pool(
                         telemetry.count("executor.block_retries")
                         retries.extend((entry,) for entry in unit)
                         continue
-                    outcomes, snap, drained = \
-                        [("error", traceback.format_exc(), 0.0)], None, None
+                    outcomes, snap, drained, health = \
+                        [("error", traceback.format_exc(), 0.0)], None, \
+                        None, None
+                if watchdog is not None:
+                    for _status, _payload, duration in outcomes:
+                        watchdog.note_duration(duration)
                 # Worker spans land under the live campaign.run span with
                 # their counters/histograms summed in; worker lifecycle
                 # events are re-sequenced onto the live bus.  A died
@@ -521,6 +563,11 @@ def _run_pool(
                 # singletons are the only events its tasks produce.
                 telemetry.merge_snapshot(snap)
                 events.absorb(drained)
+                if health is not None:
+                    events.emit("worker.heartbeat", **health)
+                    telemetry.observe("worker.rss_bytes",
+                                      health["rss_bytes"])
+                    telemetry.observe("worker.cpu_s", health["cpu_s"])
                 for (pos, spec), outcome in zip(unit, outcomes):
                     finish(pos, _as_task_result(spec, *outcome))
             refill()

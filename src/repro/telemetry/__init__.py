@@ -37,6 +37,8 @@ from .recorder import (
     timed_span,
 )
 from .sinks import read_jsonl, render_summary, summarize, write_jsonl
+from .trace_export import export_chrome_trace, validate_trace, \
+    write_chrome_trace
 
 __all__ = [
     "Recorder",
@@ -46,6 +48,7 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "export_chrome_trace",
     "gauge",
     "merge_snapshot",
     "observe",
@@ -55,6 +58,8 @@ __all__ = [
     "span",
     "summarize",
     "timed_span",
+    "validate_trace",
+    "write_chrome_trace",
     "write_jsonl",
 ]
 
@@ -73,6 +78,12 @@ def profiled(label: str, out=None, cache_dir=None, echo=print,
     (pass ``echo=None`` to silence it).  ``on_write`` is called with
     each written path — the run ledger uses it to record where a run's
     telemetry landed.
+
+    When an obs event bus is live (the CLI nests ``profiled`` inside
+    ``observe_run``), the lifecycle events emitted so far ride along in
+    the snapshot as ``events`` — timestamps rebased into the recorder's
+    clock domain — so one JSONL file carries both observation channels
+    and ``stats trace`` can lay them out on a single timeline.
     """
     rec = enable()
     try:
@@ -81,6 +92,12 @@ def profiled(label: str, out=None, cache_dir=None, echo=print,
     finally:
         snap = rec.snapshot()
         disable()
+        from repro.obs import events as obs_events
+
+        bus = obs_events.current_bus()
+        if bus is not None and bus.events:
+            snap["events"] = [(name, t + bus.t0, data)
+                              for _, name, t, _, data in bus.events]
         paths = []
         if out:
             paths.append(write_jsonl(snap, out, label=label))

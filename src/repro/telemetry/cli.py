@@ -5,11 +5,14 @@
     repro-experiment stats show run.jsonl [--max-depth N]
     repro-experiment stats summarize run.jsonl [--json] [--store DIR]
     repro-experiment stats diff before.jsonl after.jsonl
+    repro-experiment stats trace run.jsonl [out.json]
 
 ``show`` renders the span tree; ``summarize`` reports cache hit rates,
 the per-phase time breakdown, hot spans, and (with ``--store``) store
 growth; ``diff`` compares two runs' summaries side by side — the tool
-for checking that a change moved a hit rate or a phase the right way.
+for checking that a change moved a hit rate or a phase the right way;
+``trace`` exports the run as Chrome trace-event JSON (validated against
+the schema check before writing) for ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
@@ -74,6 +77,12 @@ def build_stats_parser() -> argparse.ArgumentParser:
     p_diff = sub.add_parser("diff", help="compare two telemetry files")
     p_diff.add_argument("before", help="baseline telemetry JSONL file")
     p_diff.add_argument("after", help="comparison telemetry JSONL file")
+
+    p_trace = sub.add_parser(
+        "trace", help="export Chrome trace-event JSON (Perfetto)")
+    p_trace.add_argument("file", help="telemetry JSONL file")
+    p_trace.add_argument("out", nargs="?", default=None, metavar="OUT",
+                         help="output path (default: <file>.trace.json)")
     return parser
 
 
@@ -145,14 +154,25 @@ def _fmt_rate(rate: "float | None") -> str:
     return "--" if rate is None else f"{rate * 100:.1f}%"
 
 
+def _fmt_speed(before_s: "float | None", after_s: "float | None") -> str:
+    """``before/after`` speed ratio, guarded: zero or missing → ``n/a``.
+
+    A run with no spans (counter-only telemetry) or a zero-duration root
+    must never turn the diff into a ZeroDivisionError or an ``inf%``.
+    """
+    if not before_s or not after_s:
+        return "n/a"
+    return f"{before_s / after_s:.2f}x"
+
+
 def _cmd_diff(args) -> int:
     before = summarize(_load(args.before))
     after = summarize(_load(args.after))
     b_total = before["phase_breakdown"]["total_s"]
     a_total = after["phase_breakdown"]["total_s"]
     print(f"{'':<28} {'before':>12} {'after':>12}")
-    speed = f"  ({b_total / a_total:.2f}x)" if a_total else ""
-    print(f"{'total':<28} {_fmt_s(b_total):>12} {_fmt_s(a_total):>12}{speed}")
+    print(f"{'total':<28} {_fmt_s(b_total):>12} {_fmt_s(a_total):>12}"
+          f"  ({_fmt_speed(b_total, a_total)})")
     for key in ("dag_cache_hit_rate", "store_hit_rate",
                 "campaign_cache_hit_rate"):
         label = key.replace("_", " ")
@@ -165,7 +185,8 @@ def _cmd_diff(args) -> int:
         a = after["phase_breakdown"]["phases"].get(name, {}).get("total_s")
         print(f"{name:<28} "
               f"{_fmt_s(b) if b is not None else '--':>12} "
-              f"{_fmt_s(a) if a is not None else '--':>12}")
+              f"{_fmt_s(a) if a is not None else '--':>12}"
+              f"  ({_fmt_speed(b, a)})")
     counters = sorted(set(before["counters"]) | set(after["counters"]))
     for name in counters:
         b = before["counters"].get(name, 0)
@@ -175,10 +196,29 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .trace_export import write_chrome_trace
+
+    snap = _load(args.file)
+    out = args.out or (args.file + ".trace.json")
+    try:
+        path = write_chrome_trace(snap, out)
+    except (ValueError, OSError) as exc:
+        raise StatsError(str(exc)) from exc
+    n_spans = len(snap["spans"])
+    n_events = len(snap.get("events", ()))
+    tids = {e.get("tid") for e in json.loads(
+        path.read_text())["traceEvents"] if e.get("ph") == "X"}
+    print(f"[chrome trace written to {path}: {n_spans} span(s), "
+          f"{n_events} lifecycle event(s), {len(tids)} track(s) — load in "
+          "chrome://tracing or https://ui.perfetto.dev]")
+    return 0
+
+
 def stats_main(argv: "list[str] | None" = None) -> int:
     args = build_stats_parser().parse_args(argv)
     handler = {"show": _cmd_show, "summarize": _cmd_summarize,
-               "diff": _cmd_diff}[args.command]
+               "diff": _cmd_diff, "trace": _cmd_trace}[args.command]
     try:
         return handler(args)
     except StatsError as exc:

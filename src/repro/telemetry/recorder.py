@@ -34,6 +34,7 @@ unit suffix is part of the name).
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Iterator, Mapping
 
@@ -190,11 +191,19 @@ class Recorder:
     # -- export / merge ------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Plain-data copy of everything recorded so far (picklable)."""
+        """Plain-data copy of everything recorded so far (picklable).
+
+        ``pid`` is the recording process — :meth:`merge` uses it to tag
+        a worker snapshot's re-rooted spans with their origin, which is
+        what lets the Chrome-trace exporter
+        (:mod:`repro.telemetry.trace_export`) lay worker spans out on
+        per-worker tracks.
+        """
         return {
             "version": SNAPSHOT_VERSION,
             "t0": self.t0,
             "wall0": self.wall0,
+            "pid": os.getpid(),
             "spans": list(self.spans),
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
@@ -210,14 +219,24 @@ class Recorder:
         worker's results stream back into).  Counters and histograms sum;
         gauges take the snapshot's value (last writer wins, matching
         single-process semantics).
+
+        When the snapshot came from another process (its ``pid`` differs
+        from ours), each re-rooted root span gains a ``worker_pid``
+        attribute — the provenance mark the trace exporter turns into
+        per-worker thread ids.
         """
         if parent is None:
             parent = self._stack[-1] if self._stack else -1
         base = self._next_id
         max_id = -1
+        worker_pid = snap.get("pid")
+        if worker_pid == os.getpid():
+            worker_pid = None
         for sid, sparent, name, start, duration, attrs in snap.get("spans", ()):
             if sid > max_id:
                 max_id = sid
+            if sparent < 0 and worker_pid is not None:
+                attrs = {**(attrs or {}), "worker_pid": worker_pid}
             self.spans.append((
                 sid + base,
                 parent if sparent < 0 else sparent + base,

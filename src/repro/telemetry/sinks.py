@@ -10,11 +10,17 @@ record; every further line is one event:
     {"type": "gauge", "name": "executor.jobs", "value": 4}
     {"type": "hist", "name": "executor.queue_wait_s",
      "count": 16, "sum": 0.9, "min": 0.01, "max": 0.2}
+    {"type": "event", "name": "task.cache_hit", "start": 0.003,
+     "data": {"index": 7}}
 
-Span ``start`` values are normalized to the recorder's epoch (``t0``) so
-files from different runs line up at 0; ``parent`` is -1 for roots.
-The format is append-only and versioned via the meta line; readers must
-ignore record types they do not know.
+Span (and event) ``start`` values are normalized to the recorder's epoch
+(``t0``) so files from different runs line up at 0; ``parent`` is -1 for
+roots.  ``event`` records are the obs-bus lifecycle events a profiled
+*observed* run captured alongside its spans (``repro.telemetry.profiled``
+snapshots the live bus) — they share the span timeline, which is what
+lets the Chrome-trace exporter derive cache-hit and queue-depth counter
+tracks.  The format is append-only and versioned via the meta line;
+readers must ignore record types they do not know.
 """
 
 from __future__ import annotations
@@ -56,6 +62,12 @@ def write_jsonl(snapshot: Mapping, path, label: str = "") -> Path:
         lines.append(json.dumps(
             {"type": "hist", "name": name, "count": n, "sum": total,
              "min": lo, "max": hi}, sort_keys=True))
+    for name, start, data in snapshot.get("events", ()):
+        rec = {"type": "event", "name": name,
+               "start": round(start - t0, 9)}
+        if data:
+            rec["data"] = data
+        lines.append(json.dumps(rec, sort_keys=True))
     path.write_text("\n".join(lines) + "\n")
     return path
 
@@ -70,7 +82,7 @@ def read_jsonl(path) -> dict:
     """
     snap = {"version": SNAPSHOT_VERSION, "t0": 0.0, "wall0": 0.0,
             "spans": [], "counters": {}, "gauges": {}, "hists": {},
-            "meta": {}}
+            "events": [], "meta": {}}
     for line in Path(path).read_text().splitlines():
         line = line.strip()
         if not line:
@@ -93,6 +105,9 @@ def read_jsonl(path) -> dict:
         elif kind == "hist":
             snap["hists"][rec["name"]] = [
                 rec["count"], rec["sum"], rec["min"], rec["max"]]
+        elif kind == "event":
+            snap["events"].append(
+                (rec["name"], rec["start"], rec.get("data")))
     return snap
 
 

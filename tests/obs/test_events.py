@@ -134,7 +134,10 @@ class TestVocabulary:
         assert {"run.start", "run.finish", "task.submit", "task.start",
                 "task.done", "task.failed", "task.cache_hit",
                 "block.dispatch", "block.fallback",
-                "report.phase"} == KNOWN_EVENTS
+                "report.phase",
+                # pool-only health events (outside the --jobs 1
+                # identity contract, see repro.obs.health)
+                "task.stall", "worker.heartbeat"} == KNOWN_EVENTS
 
     def test_event_version_is_an_int(self):
         assert isinstance(EVENT_VERSION, int) and EVENT_VERSION >= 1

@@ -1,0 +1,182 @@
+"""Worker health: resource samples, the stall watchdog, and the pool
+wiring that surfaces both.
+
+The ISSUE 9 acceptance: an injected stalled task produces a
+``task.stall`` event naming it, the run ledger counts the stall, and
+the progress line warns — while serial runs stay free of the pool-only
+health events (``--jobs 1`` identity contract).
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.obs import events
+from repro.obs.health import StallWatchdog, sample_resources
+from repro.obs.ledger import RunTracker
+from repro.obs.progress import ProgressRenderer
+from repro.runtime import run_campaign
+from repro.runtime.spec import RunSpec
+
+
+def sleep_specs(durations):
+    return [
+        RunSpec(fn="repro.runtime.tasks:sleeping_task", index=i,
+                params={"duration_s": d}, seed=i)
+        for i, d in enumerate(durations)
+    ]
+
+
+class TestSampleResources:
+    def test_sample_shape(self):
+        import os
+
+        sample = sample_resources()
+        assert set(sample) == {"pid", "rss_bytes", "cpu_s"}
+        assert sample["pid"] == os.getpid()
+        assert sample["rss_bytes"] > 0  # this test process has pages
+        assert sample["cpu_s"] >= 0.0
+
+    def test_sample_is_picklable_plain_data(self):
+        import pickle
+
+        sample = sample_resources()
+        assert pickle.loads(pickle.dumps(sample)) == sample
+
+
+class TestStallWatchdog:
+    def test_rejects_nonpositive_thresholds(self):
+        for kw in ({"multiple": 0}, {"min_stall_s": -1}, {"poll_s": 0}):
+            with pytest.raises(ValueError):
+                StallWatchdog(**kw)
+
+    def test_threshold_floor_before_any_completion(self):
+        wd = StallWatchdog(multiple=4.0, min_stall_s=5.0)
+        assert wd.threshold_s() == 5.0
+
+    def test_threshold_scales_with_ewma_and_unit_size(self):
+        wd = StallWatchdog(multiple=4.0, min_stall_s=0.1)
+        wd.note_duration(2.0)
+        assert wd.threshold_s(1) == pytest.approx(8.0)
+        assert wd.threshold_s(3) == pytest.approx(24.0)
+
+    def test_ewma_smooths_toward_recent_durations(self):
+        wd = StallWatchdog()
+        wd.note_duration(1.0)
+        wd.note_duration(2.0)
+        assert wd.ewma_s == pytest.approx(0.3 * 2.0 + 0.7 * 1.0)
+        wd.note_duration(-1.0)  # ignored, not a duration
+        assert wd.ewma_s == pytest.approx(1.3)
+
+    def test_scan_flags_each_unit_once(self):
+        wd = StallWatchdog(multiple=2.0, min_stall_s=0.5)
+        bus = events.enable()
+        try:
+            now = time.perf_counter()
+            token = object()
+            unit = tuple(enumerate(sleep_specs([0.0, 0.0])))
+            in_flight = {token: (unit, now - 10.0)}
+            first = wd.scan(in_flight, now=now)
+            assert sorted(first) == [0, 1]
+            assert wd.n_stalled == 2
+            assert wd.scan(in_flight, now=now) == []  # already flagged
+            assert wd.n_stalled == 2
+            assert bus.counts()["task.stall"] == 2
+        finally:
+            events.disable()
+
+    def test_scan_leaves_young_units_alone(self):
+        wd = StallWatchdog(multiple=2.0, min_stall_s=5.0)
+        now = time.perf_counter()
+        unit = tuple(enumerate(sleep_specs([0.0])))
+        assert wd.scan({object(): (unit, now - 1.0)}, now=now) == []
+        assert wd.n_stalled == 0
+
+    def test_forget_clears_the_flag(self):
+        wd = StallWatchdog(multiple=2.0, min_stall_s=0.5)
+        now = time.perf_counter()
+        token = object()
+        unit = tuple(enumerate(sleep_specs([0.0])))
+        wd.scan({token: (unit, now - 10.0)}, now=now)
+        assert wd._flagged
+        wd.forget(token)
+        assert not wd._flagged
+
+
+class TestPoolIntegration:
+    def test_injected_stall_is_flagged_counted_and_rendered(self):
+        """The acceptance path: sleeper -> task.stall -> ledger/progress."""
+        specs = sleep_specs([0.5] + [0.01] * 5)
+        bus = events.enable()
+        tracker = RunTracker()
+        bus.subscribe(tracker.handle)
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream=stream, interval=0)
+        bus.subscribe(renderer.handle)
+        bus.emit("run.start", kind="campaign", name="stall-test",
+                 n_tasks=len(specs))
+        watchdog = StallWatchdog(multiple=2.0, min_stall_s=0.05,
+                                 poll_s=0.02)
+        try:
+            campaign = run_campaign(specs, jobs=2, watchdog=watchdog)
+            bus.emit("run.finish", status="ok")
+        finally:
+            events.disable()
+
+        assert not campaign.failures
+        stalled = [e[4]["index"] for e in bus.events if e[1] == "task.stall"]
+        assert 0 in stalled  # the 0.5s sleeper was flagged
+        assert watchdog.n_stalled == len(stalled) > 0
+
+        # Heartbeats ride the result channel; ledger counts both.
+        counts = bus.counts()
+        assert counts["worker.heartbeat"] > 0
+        assert tracker.n_stalls == len(stalled)
+        assert tracker.n_heartbeats == counts["worker.heartbeat"]
+        assert tracker.worker_rss_peak_bytes > 0
+        record = tracker.record(
+            run_id="stall-test", status="ok", kind="campaign",
+            name="stall-test", wall_s=1.0, started_unix=0.0,
+            finished_unix=1.0)
+        assert record["version"] >= 2
+        assert record["n_stalls"] == len(stalled)
+        assert record["n_heartbeats"] == counts["worker.heartbeat"]
+        assert record["worker_rss_peak_bytes"] > 0
+
+        assert "stalled!" in stream.getvalue()
+
+    def test_heartbeats_feed_telemetry_histograms(self):
+        from repro import telemetry
+
+        specs = sleep_specs([0.0] * 4)
+        recorder = telemetry.enable()
+        events.enable()
+        try:
+            run_campaign(specs, jobs=2)
+            snap = recorder.snapshot()
+        finally:
+            events.disable()
+            telemetry.disable()
+        assert snap["hists"].get("worker.rss_bytes")
+        assert snap["hists"].get("worker.cpu_s")
+        assert all(v > 0 for v in snap["hists"]["worker.rss_bytes"])
+
+    def test_serial_runs_emit_no_health_events(self):
+        """Pool-only events stay out of the --jobs 1 identity stream."""
+        specs = sleep_specs([0.0] * 4)
+        bus = events.enable()
+        try:
+            run_campaign(specs, jobs=1)
+        finally:
+            events.disable()
+        counts = bus.counts()
+        assert "worker.heartbeat" not in counts
+        assert "task.stall" not in counts
+
+    def test_unobserved_pool_run_stays_clean(self):
+        """No bus, no watchdog: plain pool runs are unchanged."""
+        specs = sleep_specs([0.0] * 4)
+        campaign = run_campaign(specs, jobs=2)
+        assert not campaign.failures
+        assert len(campaign.values()) == 4

@@ -221,8 +221,8 @@ class TestObserveRun:
             events.emit("run.start", kind="scenario.sweep", n_tasks=2)
             events.emit("task.done", index=0)
         assert "\r" in out.getvalue()
-        # finish() cleared the line
-        assert out.getvalue().endswith("\r")
+        # finish() painted the final state and terminated the line
+        assert out.getvalue().endswith("\n")
 
     def test_progress_auto_off_for_non_tty_stream(self):
         out = io.StringIO()  # io.StringIO.isatty() is False

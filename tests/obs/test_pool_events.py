@@ -100,7 +100,12 @@ class TestPoolEventMerge:
         pool, pool_bus = observed_campaign(
             tasks, jobs=2, batcher=ScenarioTaskBatcher())
         assert pool.values() == serial.values()
-        assert pool_bus.counts() == serial_bus.counts()
+        # Health events (worker.heartbeat/task.stall) are pool-only by
+        # design; the lifecycle stream itself must match serial exactly.
+        pool_counts = {name: n for name, n in pool_bus.counts().items()
+                       if not name.startswith("worker.")
+                       and name != "task.stall"}
+        assert pool_counts == serial_bus.counts()
         assert sorted(terminal_indexes(pool_bus)) == list(range(12))
 
     def test_unbatched_pool_merges_worker_task_starts(self):

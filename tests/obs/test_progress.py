@@ -74,7 +74,7 @@ class TestRenderer:
         r.done = 2
         assert r._eta() is None
 
-    def test_paint_rewrites_one_line_and_finish_clears_it(self):
+    def test_paint_rewrites_one_line_and_finish_ends_it(self):
         out = io.StringIO()
         r = ProgressRenderer(stream=out, interval=0)
         feed(r,
@@ -84,9 +84,38 @@ class TestRenderer:
         assert "\n" not in text
         assert text.startswith("\r")
         r.finish()
-        assert out.getvalue().endswith("\r")
-        r.finish()  # idempotent: nothing left to clear
-        assert out.getvalue().endswith("\r")
+        # The final state stays in the scrollback, line terminated.
+        final = out.getvalue()
+        assert final.endswith("\n")
+        assert "1/2" in final.rsplit("\r", 1)[-1]
+
+    def test_finish_on_untouched_renderer_writes_nothing(self):
+        out = io.StringIO()
+        ProgressRenderer(stream=out, interval=0).finish()
+        assert out.getvalue() == ""
+
+    def test_clear_erases_the_line_for_diagnostics(self):
+        out = io.StringIO()
+        r = ProgressRenderer(stream=out, interval=0)
+        feed(r,
+             ("run.start", {"n_tasks": 2}),
+             ("task.done", {"index": 0}))
+        painted = len(out.getvalue().rsplit("\r", 1)[-1])
+        r.clear()
+        # Erase = overwrite with spaces, then park the cursor at col 0:
+        # whatever prints next (a traceback) starts on a clean line.
+        assert out.getvalue().endswith("\r" + " " * painted + "\r")
+        before = out.getvalue()
+        r.clear()  # idempotent: nothing left to erase
+        assert out.getvalue() == before
+
+    def test_stalls_warn_in_the_line(self):
+        r = ProgressRenderer(stream=io.StringIO(), interval=0)
+        feed(r,
+             ("run.start", {"n_tasks": 4}),
+             ("task.stall", {"index": 2}),
+             ("task.stall", {"index": 3}))
+        assert "2 stalled!" in r._line()
 
     def test_shrinking_line_is_padded_clean(self):
         out = io.StringIO()

@@ -278,3 +278,20 @@ class TestStatsCli:
             {"type": "meta", "version": 1, "label": ""}) + "\n")
         assert stats_main(["diff", str(run_file), str(empty)]) == 1
         assert "stats error" in capsys.readouterr().err
+
+    def test_diff_counter_only_side_shows_na_not_zerodivision(
+            self, run_file, tmp_path, capsys):
+        """A counter-only file has zero total span time — every speed
+        ratio against it must render as n/a, never divide by zero."""
+        counters = tmp_path / "counters.jsonl"
+        counters.write_text(
+            json.dumps({"type": "meta", "version": 1, "label": ""}) + "\n"
+            + json.dumps({"type": "counter", "name": "store.get.hits",
+                          "value": 7}) + "\n")
+        for pair in ([str(run_file), str(counters)],
+                     [str(counters), str(run_file)],
+                     [str(counters), str(counters)]):
+            assert stats_main(["diff", *pair]) == 0
+            out = capsys.readouterr().out
+            assert "n/a" in out
+            assert "inf" not in out

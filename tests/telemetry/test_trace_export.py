@@ -1,0 +1,159 @@
+"""Chrome trace export round-trip: profiled runs to a validated timeline.
+
+The acceptance contract (ISSUE 9): a profiled ``--jobs 2`` sweep exports
+to trace-event JSON that passes :func:`validate_trace`, carries only
+non-negative microsecond timestamps, distinguishes worker tracks by pid,
+and — on a warm cache — renders the cache-hit stream as counter events.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios.cli import scenario_main
+from repro.telemetry.cli import stats_main
+from repro.telemetry.sinks import read_jsonl
+from repro.telemetry.trace_export import (
+    export_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+)
+
+SWEEP = """\
+description = "trace-export sweep"
+n_ranks = 8
+n_steps = 10
+outputs = ["runtime"]
+
+[machine]
+preset = "simulated"
+
+[workload]
+kind = "synthetic"
+t_exec = 3e-3
+
+[comm]
+direction = "bidirectional"
+distance = 1
+periodic = true
+msg_size = 8192
+protocol = "eager"
+
+[noise]
+model = "none"
+
+[campaign]
+rate = 0.01
+phases_low = 2.0
+phases_high = 8.0
+
+[sweep]
+replicates = 8
+
+[[sweep.axes]]
+path = "campaign.rate"
+values = [0.01, 0.05]
+"""
+
+
+@pytest.fixture
+def sweep_toml(tmp_path):
+    path = tmp_path / "sweep.toml"
+    path.write_text(SWEEP)
+    return path
+
+
+def profiled_sweep(sweep_toml, tmp_path, jobs, out_name="run.jsonl"):
+    out = tmp_path / out_name
+    assert scenario_main([
+        "sweep", str(sweep_toml), "--engine", "dag", "--jobs", str(jobs),
+        "--cache-dir", str(tmp_path / "store"),
+        "--profile", "--telemetry-out", str(out),
+    ]) == 0
+    return read_jsonl(str(out)), out
+
+
+class TestExport:
+    def test_pool_trace_validates_with_worker_tracks(
+            self, sweep_toml, tmp_path, capsys):
+        """The headline: --jobs 2 trace validates and splits by worker."""
+        snap, _ = profiled_sweep(sweep_toml, tmp_path, jobs=2)
+        trace = export_chrome_trace(snap)
+        assert validate_trace(trace) == []
+
+        x_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert x_events
+        for e in x_events:
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+        # tid 0 is the parent; worker spans land on their pid's track.
+        tids = {e["tid"] for e in x_events}
+        assert 0 in tids
+        assert len(tids) >= 2
+
+        # Worker tracks are named after the worker pid.
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "main" in names
+        assert any(n.startswith("worker") for n in names)
+
+    def test_trace_is_pure_json(self, sweep_toml, tmp_path):
+        snap, _ = profiled_sweep(sweep_toml, tmp_path, jobs=1)
+        trace = export_chrome_trace(snap)
+        round_tripped = json.loads(json.dumps(trace))
+        assert validate_trace(round_tripped) == []
+
+    def test_warm_run_emits_cache_hit_counters(self, sweep_toml, tmp_path):
+        """A fully cached rerun shows the cache-hit counter climbing."""
+        profiled_sweep(sweep_toml, tmp_path, jobs=1, out_name="cold.jsonl")
+        snap, _ = profiled_sweep(sweep_toml, tmp_path, jobs=1,
+                                 out_name="warm.jsonl")
+        trace = export_chrome_trace(snap)
+        assert validate_trace(trace) == []
+        hits = [e for e in trace["traceEvents"]
+                if e["ph"] == "C" and e["name"] == "cache hits"]
+        assert hits
+        final = max(next(iter(e["args"].values())) for e in hits)
+        assert final == 16  # every draw of the 16-task sweep was cached
+
+    def test_validator_catches_malformed_traces(self):
+        assert validate_trace([]) != []  # not an object
+        assert validate_trace({"traceEvents": "nope"}) != []
+        bad_phase = {"traceEvents": [
+            {"name": "x", "ph": "Z", "pid": 1, "tid": 0, "ts": 0}]}
+        assert any("ph" in p for p in validate_trace(bad_phase))
+        negative_ts = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 0,
+             "ts": -1.0, "dur": 1.0}]}
+        assert any("ts" in p for p in validate_trace(negative_ts))
+
+
+class TestTraceCli:
+    def test_stats_trace_writes_default_path(
+            self, sweep_toml, tmp_path, capsys):
+        _, out = profiled_sweep(sweep_toml, tmp_path, jobs=2)
+        capsys.readouterr()
+        assert stats_main(["trace", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "chrome trace" in printed
+        trace_path = out.parent / (out.name + ".trace.json")
+        assert trace_path.exists()
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace(trace) == []
+
+    def test_stats_trace_explicit_out(self, sweep_toml, tmp_path, capsys):
+        _, out = profiled_sweep(sweep_toml, tmp_path, jobs=1)
+        capsys.readouterr()
+        dest = tmp_path / "timeline.json"
+        assert stats_main(["trace", str(out), str(dest)]) == 0
+        capsys.readouterr()
+        assert validate_trace(json.loads(dest.read_text())) == []
+
+    def test_stats_trace_unreadable_file_fails_cleanly(
+            self, tmp_path, capsys):
+        assert stats_main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "stats error" in capsys.readouterr().err
+
+    def test_write_refuses_invalid_snapshot(self, tmp_path):
+        with pytest.raises(ValueError, match="not a telemetry snapshot"):
+            write_chrome_trace({"spans": "bogus"}, tmp_path / "t.json")
