@@ -96,3 +96,45 @@ def test_bench_runtime_cache_hit(once, tmp_path, monkeypatch, bench_record):
     assert warm.n_cached == len(tasks) and warm.n_executed == 0
     assert warm.values() == cold.values()
     assert t_warm < t_cold / 2
+
+
+def test_bench_runtime_chaos_recovery(chaos_mode, once, bench_record):
+    """Campaign under deterministic fault injection (``--chaos`` only).
+
+    Installs a 25% crash-rate chaos spec and reruns the standard sweep
+    with a retry budget that covers the per-task fault bound.  The
+    campaign must heal to bit-identical values; the recovery economics
+    (retries, wasted seconds, overhead ratio vs. the fault-free run)
+    land in the benchmark ledger so the retry tax is trend-tracked.
+    """
+    from repro.runtime import RetryPolicy, chaos
+    from repro.runtime.chaos import ChaosSpec
+
+    tasks = SWEEP.tasks()
+    t0 = time.perf_counter()
+    clean = run_campaign(tasks, jobs=4)
+    t_clean = time.perf_counter() - t0
+    assert not clean.failures
+
+    chaos.install(ChaosSpec(seed=7, crash_rate=0.25, max_faults_per_task=2))
+    try:
+        chaotic = once(run_campaign, tasks, jobs=4,
+                       retry=RetryPolicy(retries=2, backoff_s=0.01))
+    finally:
+        chaos.uninstall()
+    t_chaotic = chaotic.elapsed
+
+    print(f"\nfault-free {t_clean:.2f}s vs chaotic {t_chaotic:.2f}s "
+          f"({chaotic.n_retried} retries, "
+          f"{chaotic.retry_wasted_s:.2f}s wasted)")
+    bench_record(n_runs=N_RUNS, jobs=4, crash_rate=0.25,
+                 t_clean_s=t_clean, t_chaotic_s=t_chaotic,
+                 n_retried=chaotic.n_retried,
+                 retry_wasted_s=chaotic.retry_wasted_s,
+                 retries_per_task=chaotic.n_retried / len(tasks),
+                 overhead=t_chaotic / max(t_clean, 1e-9))
+
+    # Injected faults must be invisible in the data.
+    assert not chaotic.failures
+    assert chaotic.n_retried > 0
+    assert chaotic.values() == clean.values()

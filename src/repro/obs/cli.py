@@ -41,7 +41,8 @@ def build_runs_parser() -> argparse.ArgumentParser:
                       help="machine-readable output")
     p_ls.add_argument("--name", default=None, metavar="NAME",
                       help="only runs of this scenario/report name")
-    p_ls.add_argument("--status", default=None, choices=["ok", "failed"],
+    p_ls.add_argument("--status", default=None,
+                      choices=["ok", "failed", "interrupted"],
                       help="only runs with this status")
 
     p_show = sub.add_parser("show", help="full provenance of one run")
@@ -150,6 +151,15 @@ def _cmd_show(args) -> int:
             ("stalls", r.get("n_stalls")),
             ("heartbeats", r.get("n_heartbeats")),
             ("worker rss peak", _fmt_bytes(r.get("worker_rss_peak_bytes"))),
+        ])
+    # v3 fault-tolerance economics, gated the same way.
+    if r.get("version", 1) >= 3:
+        rows.extend([
+            ("retried", r.get("n_retried")),
+            ("quarantined", r.get("n_quarantined")),
+            ("pool respawns", r.get("n_pool_respawns")),
+            ("retry wasted", f"{r.get('retry_wasted_s', 0.0):.3f}s"),
+            ("resumed from", r.get("resumed_from") or "-"),
         ])
     for label, value in rows:
         print(f"  {label:<16} {value if value is not None else '-'}")

@@ -52,26 +52,35 @@ __all__ = [
 
 #: Version of the event schema (names + payload conventions).  Bump on
 #: renames or payload-shape changes and note it in the PR description —
-#: ledger records carry it so old records stay interpretable.
-EVENT_VERSION = 1
+#: ledger records carry it so old records stay interpretable.  v2 added
+#: the fault-tolerance events: ``task.retry``, ``task.quarantined``,
+#: ``pool.respawn``.
+EVENT_VERSION = 2
 
 #: The typed lifecycle vocabulary.  ``emit`` does not enforce membership
 #: (forward compatibility for downstream consumers), but events outside
 #: this set are invisible to the progress renderer and the run tracker.
 #:
-#: The ``worker.*`` family and ``task.stall`` are **pool-only**: they
-#: describe wall-clock health (heartbeats, stalled tasks) that serial
-#: runs never emit, so the ``--jobs 1`` identity-stream determinism
-#: contract above is unaffected.  Their payloads still follow the rules
-#: (no durations or timestamps in ``data``) — resource figures like
-#: ``rss_bytes`` are measurements, carried because these events are
-#: already outside the identity contract by construction.
+#: The ``worker.*`` family, ``task.stall``, and ``pool.respawn`` are
+#: **pool-only**: they describe wall-clock health (heartbeats, stalled
+#: tasks, dead workers) that serial runs never emit, so the ``--jobs 1``
+#: identity-stream determinism contract above is unaffected.  Their
+#: payloads still follow the rules (no durations or timestamps in
+#: ``data``) — resource figures like ``rss_bytes`` are measurements,
+#: carried because these events are already outside the identity
+#: contract by construction.  ``task.retry`` (payload: ``index``,
+#: ``attempt``) fires for both worker-side soft retries — deterministic
+#: given deterministic failures, e.g. under the chaos harness — and
+#: pool-side re-dispatches after a worker death or abandoned stall,
+#: which are pool-only like the events that caused them.
+#: ``task.quarantined`` precedes the ``task.failed`` of a task the
+#: executor refuses to run again.
 KNOWN_EVENTS = frozenset({
     "run.start", "run.finish",
     "task.submit", "task.start", "task.done", "task.failed",
-    "task.cache_hit", "task.stall",
+    "task.cache_hit", "task.stall", "task.retry", "task.quarantined",
     "block.dispatch", "block.fallback",
-    "worker.heartbeat",
+    "worker.heartbeat", "pool.respawn",
     "report.phase",
 })
 

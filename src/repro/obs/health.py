@@ -26,8 +26,12 @@ liveness itself observable:
 outside the ``--jobs 1`` identity-stream contract
 (:mod:`repro.obs.events`), which serial runs keep bit-for-bit.  A
 watchdog can misfire on a genuinely slow (not hung) task — a stall
-event is a *warning*, never a kill: the executor's failure isolation
-already bounds the damage of a truly dead worker.
+event is a *warning* by default: the executor's failure isolation
+already bounds the damage of a truly dead worker.  With
+``stall_action="retry"`` the executor additionally abandons a flagged
+unit's future and re-dispatches its tasks, racing the zombie; the first
+completion wins, so a misfire costs duplicated work, never a wrong or
+missing result.
 """
 
 from __future__ import annotations
@@ -141,19 +145,20 @@ class StallWatchdog:
         return max(self.min_stall_s,
                    self.multiple * self.ewma_s * max(1, n_tasks))
 
-    def scan(self, in_flight: "Mapping[Any, tuple]",
-             now: "float | None" = None) -> "list[int]":
+    def scan_flagged(self, in_flight: "Mapping[Any, tuple]",
+                     now: "float | None" = None) -> "list[Any]":
         """Check the in-flight table; emit ``task.stall`` for new stalls.
 
         ``in_flight`` maps a future (any hashable token) to ``(unit,
         submit_t)`` where ``unit`` is the executor's tuple of ``(pos,
         spec)`` pairs and ``submit_t`` its ``perf_counter`` submission
-        time.  Each unit is flagged at most once; returns the task
-        indexes newly flagged on this scan.
+        time.  Each unit is flagged at most once; returns the tokens
+        newly flagged on this scan — what the executor needs to act on a
+        stall (``stall_action="retry"`` abandons exactly these futures).
         """
         if now is None:
             now = time.perf_counter()
-        stalled: "list[int]" = []
+        flagged: "list[Any]" = []
         for token, (unit, submit_t) in in_flight.items():
             key = id(token)
             if key in self._flagged:
@@ -161,10 +166,19 @@ class StallWatchdog:
             if now - submit_t <= self.threshold_s(len(unit)):
                 continue
             self._flagged.add(key)
+            flagged.append(token)
             for _pos, spec in unit:
-                stalled.append(spec.index)
                 self.n_stalled += 1
                 events.emit("task.stall", index=spec.index)
+        return flagged
+
+    def scan(self, in_flight: "Mapping[Any, tuple]",
+             now: "float | None" = None) -> "list[int]":
+        """Like :meth:`scan_flagged`, returning newly stalled task indexes."""
+        stalled: "list[int]" = []
+        for token in self.scan_flagged(in_flight, now):
+            unit, _submit_t = in_flight[token]
+            stalled.extend(spec.index for _pos, spec in unit)
         return stalled
 
     def forget(self, token: Any) -> None:

@@ -30,8 +30,10 @@ __all__ = ["RUN_RECORD_VERSION", "RunLedger", "RunTracker", "new_run_id",
 
 #: Schema version of ledger records; bump together with field changes.
 #: v2 added the worker-health fields: ``n_stalls``, ``n_heartbeats``,
-#: ``worker_rss_peak_bytes``.
-RUN_RECORD_VERSION = 2
+#: ``worker_rss_peak_bytes``.  v3 added the fault-tolerance economics —
+#: ``n_retried``, ``n_quarantined``, ``n_pool_respawns``,
+#: ``retry_wasted_s`` — and the resume link ``resumed_from``.
+RUN_RECORD_VERSION = 3
 
 #: Failure summaries kept per record — enough to diagnose, bounded so a
 #: 10k-task wreck cannot bloat the ledger.
@@ -68,6 +70,11 @@ class RunTracker:
         self.n_cached = 0
         self.n_failed = 0
         self.n_stalls = 0
+        self.n_retried = 0
+        self.n_quarantined = 0
+        self.n_pool_respawns = 0
+        self.retry_wasted_s = 0.0
+        self.resumed_from: "str | None" = None
         self.n_heartbeats = 0
         self.worker_rss_peak_bytes = 0
         self.n_events = 0
@@ -107,6 +114,12 @@ class RunTracker:
                     self.failed_tasks.append(int(data["index"]))
         elif name == "task.stall":
             self.n_stalls += 1
+        elif name == "task.retry":
+            self.n_retried += 1
+        elif name == "task.quarantined":
+            self.n_quarantined += 1
+        elif name == "pool.respawn":
+            self.n_pool_respawns += 1
         elif name == "worker.heartbeat":
             self.n_heartbeats += 1
             rss = data.get("rss_bytes")
@@ -128,6 +141,15 @@ class RunTracker:
 
     def set_telemetry(self, path) -> None:
         self.telemetry = str(path)
+
+    def set_resumed_from(self, run_id: "str | None") -> None:
+        """Link this run to the ledger record it resumes."""
+        self.resumed_from = str(run_id) if run_id is not None else None
+
+    def set_retry_wasted(self, seconds: float) -> None:
+        """Record the wall clock burned by retried attempts (a duration,
+        so it travels out of band — never in an event payload)."""
+        self.retry_wasted_s = float(seconds)
 
     # -- record -------------------------------------------------------
 
@@ -160,6 +182,11 @@ class RunTracker:
             "failures": list(self.failures),
             "failed_tasks": sorted(self.failed_tasks)[:_MAX_FAILURES],
             "n_stalls": self.n_stalls,
+            "n_retried": self.n_retried,
+            "n_quarantined": self.n_quarantined,
+            "n_pool_respawns": self.n_pool_respawns,
+            "retry_wasted_s": self.retry_wasted_s,
+            "resumed_from": self.resumed_from,
             "n_heartbeats": self.n_heartbeats,
             "worker_rss_peak_bytes": self.worker_rss_peak_bytes,
             "telemetry": self.telemetry,
@@ -176,11 +203,20 @@ def render_run_summary(record: dict) -> str:
     """
     status = record["status"]
     mark = "" if status == "ok" else f" {status.upper()}"
-    stalls = (f", {record['n_stalls']} stall(s)"
-              if record.get("n_stalls") else "")
+    extras = ""
+    if record.get("n_stalls"):
+        extras += f", {record['n_stalls']} stall(s)"
+    if record.get("n_retried"):
+        extras += f", {record['n_retried']} retried"
+    if record.get("n_quarantined"):
+        extras += f", {record['n_quarantined']} quarantined"
+    if record.get("n_pool_respawns"):
+        extras += f", {record['n_pool_respawns']} pool respawn(s)"
+    if record.get("resumed_from"):
+        extras += f", resumed from {record['resumed_from']}"
     return (f"[run {record['id']}{mark}: {record['n_tasks']} task(s), "
             f"{record['n_failed']} failed, {record['n_cached']} cache "
-            f"hit(s){stalls}, {record['wall_s']:.2f}s]")
+            f"hit(s){extras}, {record['wall_s']:.2f}s]")
 
 
 class RunLedger:

@@ -59,6 +59,8 @@ class ProgressRenderer:
         self.cached = 0
         self.failed = 0
         self.stalled = 0
+        self.retried = 0
+        self.quarantined = 0
         self.phase: "str | None" = None
         self._t0 = time.perf_counter()
         self._last_paint = 0.0
@@ -89,6 +91,10 @@ class ProgressRenderer:
                 self._note_completion()
         elif name == "task.stall":
             self.stalled += 1
+        elif name == "task.retry":
+            self.retried += 1
+        elif name == "task.quarantined":
+            self.quarantined += 1
         elif name == "report.phase":
             self.phase = data.get("phase")
         elif name == "run.finish":
@@ -123,6 +129,10 @@ class ProgressRenderer:
             parts.append(f"{self.failed} failed")
         if self.stalled:
             parts.append(f"{self.stalled} stalled!")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined!")
         if self.phase:
             parts.append(f"phase={self.phase}")
         eta = self._eta()

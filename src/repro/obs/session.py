@@ -68,7 +68,14 @@ def observe_run(kind: str, name: str, cache_dir=None,
     try:
         yield tracker
     except BaseException as exc:
-        status = "failed"
+        # ^C (and a polite SystemExit) is an interruption, not a crash:
+        # the record persists either way — the `finally` below runs on
+        # the way down — but "interrupted" tells `runs ls` (and
+        # `--resume`) that the missing tasks were never attempted.
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            status = "interrupted"
+        else:
+            status = "failed"
         if isinstance(exc, Exception):
             tracker.note_failure(f"{type(exc).__name__}: {exc}")
         raise
@@ -96,7 +103,13 @@ def observe_run(kind: str, name: str, cache_dir=None,
         )
         path = None
         if cache_dir is not None:
-            path = RunLedger(cache_dir).append(record)
+            try:
+                path = RunLedger(cache_dir).append(record)
+            except OSError:
+                # An unwritable cache dir must not mask the run's own
+                # outcome (the store already failed fast with a typed
+                # error on this path); the summary line still prints.
+                path = None
         if echo is not None:
             echo(render_run_summary(record))
             if path is not None:

@@ -102,6 +102,13 @@ def metrics_from_run_record(record: Mapping) -> "tuple[str, dict, dict]":
         "n_failed": record.get("n_failed"),
         "cache_hit_rate": record.get("cache_hit_rate"),
         "n_stalls": record.get("n_stalls"),
+        # v3 fault-tolerance economics: the retry family lets the trend
+        # gate flag a retry storm (a workload that still passes but now
+        # burns attempts) as a regression, not silence.
+        "n_retried": record.get("n_retried"),
+        "n_quarantined": record.get("n_quarantined"),
+        "n_pool_respawns": record.get("n_pool_respawns"),
+        "retry_wasted_s": record.get("retry_wasted_s"),
         # 0 here means "no heartbeat sampled" (serial or fully cached
         # run), not "zero memory" — recording it would make the next
         # real measurement an infinite regression against a zero EWMA.
@@ -111,6 +118,8 @@ def metrics_from_run_record(record: Mapping) -> "tuple[str, dict, dict]":
     n_tasks = metrics.get("n_tasks")
     if wall and n_tasks:
         metrics["tasks_per_s"] = n_tasks / wall
+    if n_tasks and metrics.get("n_retried") is not None:
+        metrics["retries_per_task"] = metrics["n_retried"] / n_tasks
     context = {"run_id": record.get("id"), "jobs": record.get("jobs"),
                "status": record.get("status"),
                "spec_key": record.get("spec_key")}

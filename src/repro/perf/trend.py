@@ -41,7 +41,9 @@ def metric_direction(name: str) -> "str | None":
         return "higher"
     if (name.endswith("_s") or name.endswith("_bytes")
             or name.startswith("phase.")
-            or name in ("n_stalls", "n_failed")):
+            or name in ("n_stalls", "n_failed", "n_retried",
+                        "n_quarantined", "n_pool_respawns",
+                        "retries_per_task")):
         return "lower"
     return None
 

@@ -78,6 +78,24 @@ def build_report_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="live progress line on stderr (default: auto "
                             "when stderr is a TTY)")
+    p_run.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry failed tasks up to N times with "
+                            "deterministic seed-jittered backoff (results "
+                            "are bit-identical to a first-attempt success)")
+    p_run.add_argument("--retry-backoff", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="base backoff between retry attempts; doubles "
+                            "per attempt (default: 0.05)")
+    p_run.add_argument("--stall-action", choices=["warn", "retry"],
+                       default="warn",
+                       help="watchdog response to stalled tasks: warn only, "
+                            "or abandon the stalled block and re-dispatch "
+                            "its tasks (default: warn)")
+    p_run.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume an interrupted report run: simulated "
+                            "tasks are served from the run's cache, and the "
+                            "new ledger record links back via resumed_from "
+                            "(requires --cache-dir)")
     return parser
 
 
@@ -86,7 +104,20 @@ def _store(cache_dir: "str | None"):
         return None
     from repro.runtime.store import ResultStore
 
-    return ResultStore(cache_dir)
+    store = ResultStore(cache_dir)
+    # Fail before the campaign starts, not after it computed results it
+    # cannot persist.
+    store.ensure_writable()
+    return store
+
+
+def _retry_policy(args):
+    if getattr(args, "retries", 0):
+        from repro.runtime.retry import RetryPolicy
+
+        return RetryPolicy(retries=args.retries,
+                           backoff_s=args.retry_backoff)
+    return None
 
 
 def _cmd_list(args) -> int:
@@ -141,31 +172,55 @@ def _cmd_run(args) -> int:
     spec = resolve_report(args.report)
     compiled = compile_report(spec)
     from repro.obs import observe_run
+    from repro.runtime.store import StoreError
 
-    with observe_run("report.run", spec.name, cache_dir=args.cache_dir,
-                     progress=args.progress) as tracker:
-        if args.profile or args.telemetry_out:
-            from repro import telemetry
+    resumed = None
+    if args.resume:
+        if args.cache_dir is None:
+            print("report error: --resume requires --cache-dir: completed "
+                  "tasks are served from the result store of the "
+                  "interrupted run", file=sys.stderr)
+            return 2
+        from repro.obs.ledger import RunLedger
 
-            profiled = telemetry.profiled(
-                "report.run", out=args.telemetry_out,
-                cache_dir=args.cache_dir, on_write=tracker.set_telemetry)
-        else:
-            from contextlib import nullcontext
+        try:
+            resumed = RunLedger(args.cache_dir).find(args.resume)
+        except KeyError as exc:
+            print(f"report error: {exc.args[0]}", file=sys.stderr)
+            return 2
 
-            profiled = nullcontext()
-        with profiled:
-            result = run_report(
-                compiled, store=_store(args.cache_dir), jobs=args.jobs,
-                batch=not args.no_batch,
-            )
-        print(result.render())
-        if args.out is not None:
-            from repro.reports.artifacts import write_artifacts
+    try:
+        with observe_run("report.run", spec.name, cache_dir=args.cache_dir,
+                         progress=args.progress) as tracker:
+            if resumed is not None:
+                tracker.set_resumed_from(resumed["id"])
+            if args.profile or args.telemetry_out:
+                from repro import telemetry
 
-            for path in write_artifacts(result, args.out):
-                tracker.add_artifact(path)
-                print(f"[wrote {path}]")
+                profiled = telemetry.profiled(
+                    "report.run", out=args.telemetry_out,
+                    cache_dir=args.cache_dir, on_write=tracker.set_telemetry)
+            else:
+                from contextlib import nullcontext
+
+                profiled = nullcontext()
+            with profiled:
+                result = run_report(
+                    compiled, store=_store(args.cache_dir), jobs=args.jobs,
+                    batch=not args.no_batch,
+                    retry=_retry_policy(args),
+                    stall_action=args.stall_action,
+                )
+            print(result.render())
+            if args.out is not None:
+                from repro.reports.artifacts import write_artifacts
+
+                for path in write_artifacts(result, args.out):
+                    tracker.add_artifact(path)
+                    print(f"[wrote {path}]")
+    except StoreError as exc:
+        print(f"store error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

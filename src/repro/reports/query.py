@@ -90,6 +90,8 @@ def fetch_campaign(
     jobs: int = 1,
     batcher=None,
     mmap: bool = False,
+    retry=None,
+    stall_action: str = "warn",
 ) -> CampaignFetch:
     """All task values, from the store where possible, executed otherwise.
 
@@ -116,7 +118,8 @@ def fetch_campaign(
 
     from repro.runtime.executor import run_campaign
 
-    campaign = run_campaign(specs, jobs=jobs, store=store, batcher=batcher)
+    campaign = run_campaign(specs, jobs=jobs, store=store, batcher=batcher,
+                            retry=retry, stall_action=stall_action)
     campaign.raise_failures()
     return CampaignFetch(
         values=tuple(result.value for result in campaign),
@@ -146,6 +149,8 @@ class CampaignStream:
     jobs: int = 1
     batcher: object = None
     mmap: bool = True
+    retry: object = None
+    stall_action: str = "warn"
     n_loaded: int = field(default=0, init=False)
     n_executed: int = field(default=0, init=False)
 
@@ -165,7 +170,8 @@ class CampaignStream:
         if not self._fully_cached():
             fetch = fetch_campaign(self.specs, store=self.store,
                                    jobs=self.jobs, batcher=self.batcher,
-                                   mmap=self.mmap)
+                                   mmap=self.mmap, retry=self.retry,
+                                   stall_action=self.stall_action)
             self.n_loaded = fetch.n_loaded
             self.n_executed = fetch.n_executed
             for start in range(0, len(self.specs), size):
@@ -181,7 +187,8 @@ class CampaignStream:
                     # just this task through the executor.
                     from repro.runtime.executor import run_campaign
 
-                    campaign = run_campaign([spec], jobs=1, store=self.store)
+                    campaign = run_campaign([spec], jobs=1, store=self.store,
+                                            retry=self.retry)
                     campaign.raise_failures()
                     value = campaign.results[0].value
                     self.n_executed += 1
@@ -201,12 +208,16 @@ def stream_campaign(
     jobs: int = 1,
     batcher=None,
     mmap: bool = True,
+    retry=None,
+    stall_action: str = "warn",
 ) -> CampaignStream:
     """A :class:`CampaignStream` over the campaign's tasks.
 
     The streaming counterpart of :func:`fetch_campaign`: same dispatch
-    and failure semantics, but a fully-cached sweep is read lazily in
-    blocks instead of being materialized whole.
+    and failure semantics (including the forwarded
+    :class:`~repro.runtime.retry.RetryPolicy`), but a fully-cached sweep
+    is read lazily in blocks instead of being materialized whole.
     """
     return CampaignStream(specs=tuple(specs), store=store, jobs=jobs,
-                          batcher=batcher, mmap=mmap)
+                          batcher=batcher, mmap=mmap, retry=retry,
+                          stall_action=stall_action)

@@ -129,6 +129,8 @@ def run_report(
     store=None,
     jobs: int = 1,
     batch: bool = True,
+    retry=None,
+    stall_action: str = "warn",
 ) -> ReportResult:
     """Execute a compiled report.
 
@@ -175,6 +177,7 @@ def run_report(
             stream = stream_campaign(
                 tasks, store=store, jobs=jobs,
                 batcher=ReportTaskBatcher() if batch else None,
+                retry=retry, stall_action=stall_action,
             )
             # Prime the stream inside the fetch span: a cache miss
             # dispatches the whole campaign here (as fetch_campaign

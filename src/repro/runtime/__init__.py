@@ -52,7 +52,9 @@ from repro.runtime.aggregate import (
     reduce_runs,
     summarize,
 )
+from repro.runtime.chaos import ChaosError, ChaosSpec
 from repro.runtime.executor import (
+    QUARANTINE_AFTER,
     CampaignResult,
     TaskBatcher,
     TaskError,
@@ -60,17 +62,29 @@ from repro.runtime.executor import (
     resolve_jobs,
     run_campaign,
 )
+from repro.runtime.retry import RetryPolicy
 from repro.runtime.seeding import derive_rng, derive_seed, seed_sequence
 from repro.runtime.spec import RunSpec, SweepSpec, canonical, spec_key
-from repro.runtime.store import GcStats, MigrateStats, ResultStore, StoreEntry
+from repro.runtime.store import (
+    GcStats,
+    MigrateStats,
+    ResultStore,
+    StoreEntry,
+    StoreError,
+)
 
 __all__ = [
     "AggregationError",
     "CampaignResult",
+    "ChaosError",
+    "ChaosSpec",
     "GcStats",
     "MigrateStats",
+    "QUARANTINE_AFTER",
     "ResultStore",
+    "RetryPolicy",
     "StoreEntry",
+    "StoreError",
     "RunSpec",
     "SweepSpec",
     "TaskBatcher",

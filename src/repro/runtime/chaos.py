@@ -1,0 +1,232 @@
+"""Deterministic chaos injection for the campaign runtime.
+
+The fault-tolerance machinery (retries, pool respawn, quarantine, torn
+shard recovery) is only trustworthy if it is *tested against real
+faults* — workers that raise, workers that die mid-task, tasks that
+wedge, shard files with garbage tails.  This module is the testing
+substrate: a :class:`ChaosSpec` describes fault rates, and every
+injection decision is a pure function of ``(chaos seed, task key,
+attempt)``, so a chaos run is exactly reproducible — the same tasks
+fault on the same attempts regardless of job count, pool scheduling, or
+retry interleaving.  That is what lets the property tests assert that a
+``--jobs 2`` sweep under injected crashes produces store records
+byte-identical to a fault-free serial run.
+
+Installation is process-global and travels two ways:
+
+- :func:`install` sets the spec in-process (tests, serial runs);
+- the :data:`ENV_VAR` environment variable carries a JSON-encoded spec
+  into pool worker processes under any start method — workers load it
+  lazily on their first injection check (:func:`active`).
+
+Fault kinds (all off by default):
+
+- ``crash_rate`` — raise :class:`ChaosError` inside the task (a soft
+  failure: caught by the executor, eligible for retry);
+- ``abort_rate`` — kill the hosting process via ``os._exit`` (a hard
+  worker death: exercises broken-pool recovery).  Degrades to a raised
+  :class:`ChaosError` outside a multiprocessing child, so a serial run
+  cannot take down the calling process;
+- ``stall_rate``/``stall_s`` — sleep ``stall_s`` before the task runs
+  (exercises the stall watchdog; keep it finite so tests terminate);
+- ``torn_write_rate`` — after a successful packed-shard append, write a
+  garbage partial record at the shard tail and retire the writer handle
+  (simulating a writer killed mid-append; the committed record stays
+  readable and recovery must scan around the torn tail).
+
+``max_faults_per_task`` bounds injection per task: attempts at or above
+it always run clean, so any retry budget >= that bound converges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+
+__all__ = ["ChaosError", "ChaosSpec", "ENV_VAR", "active", "install",
+           "maybe_inject", "maybe_inject_block", "torn_shard_write",
+           "uninstall"]
+
+#: Environment variable carrying a JSON-encoded :class:`ChaosSpec` into
+#: worker processes (and CLI runs: ``REPRO_CHAOS='{"seed":7,...}'``).
+ENV_VAR = "REPRO_CHAOS"
+
+
+class ChaosError(RuntimeError):
+    """The injected task failure — unmistakable in tracebacks and logs."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Fault rates and the seed that makes their injection deterministic."""
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    abort_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.0
+    torn_write_rate: float = 0.0
+    max_faults_per_task: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("crash_rate", "abort_rate", "stall_rate",
+                     "torn_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.stall_s < 0:
+            raise ValueError(f"stall_s must be >= 0, got {self.stall_s}")
+        if self.max_faults_per_task < 0:
+            raise ValueError("max_faults_per_task must be >= 0")
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSpec":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"chaos spec must be a JSON object, got: {text!r}")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown chaos spec fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        return cls(**data)
+
+    def roll(self, kind: str, task_key: str, attempt: int) -> float:
+        """The uniform draw deciding fault ``kind`` for one attempt.
+
+        A pure hash of ``(seed, kind, task_key, attempt)`` mapped to
+        ``[0, 1)`` — no RNG state, no process affinity: every process
+        asking about the same attempt gets the same answer.
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{task_key}:{attempt}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def faults_for(self, task_key: str, attempt: int) -> "list[str]":
+        """Fault kinds injected for this attempt, in application order."""
+        if attempt >= self.max_faults_per_task:
+            return []
+        out = []
+        if self.stall_rate > 0 and self.stall_s > 0 and \
+                self.roll("stall", task_key, attempt) < self.stall_rate:
+            out.append("stall")
+        if self.abort_rate > 0 and \
+                self.roll("abort", task_key, attempt) < self.abort_rate:
+            out.append("abort")
+        elif self.crash_rate > 0 and \
+                self.roll("crash", task_key, attempt) < self.crash_rate:
+            out.append("crash")
+        return out
+
+
+# Process-global installation.  ``_env_checked`` makes the common no-op
+# path (no chaos anywhere) a single attribute test after the first call.
+_spec: "ChaosSpec | None" = None
+_env_checked = False
+
+
+def install(spec: "ChaosSpec | None") -> None:
+    """Install (or clear, with ``None``) the in-process chaos spec."""
+    global _spec, _env_checked
+    _spec = spec
+    _env_checked = True
+
+
+def uninstall() -> None:
+    """Remove any installed spec and forget the env lookup."""
+    global _spec, _env_checked
+    _spec = None
+    _env_checked = False
+
+
+def active() -> "ChaosSpec | None":
+    """The effective spec: installed one, else lazily loaded from env."""
+    global _spec, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        text = os.environ.get(ENV_VAR)
+        if text:
+            _spec = ChaosSpec.from_json(text)
+    return _spec
+
+
+def _in_worker() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_inject(task_key: str, attempt: int) -> None:
+    """Apply any faults due for this task attempt (no-op without a spec).
+
+    Called by the executor immediately before running a task.  ``abort``
+    hard-kills a worker process; in the parent process (serial backend)
+    it degrades to a raised :class:`ChaosError` so chaos can never kill
+    the campaign driver itself.
+    """
+    spec = active()
+    if spec is None:
+        return
+    for fault in spec.faults_for(task_key, attempt):
+        if fault == "stall":
+            import time
+
+            time.sleep(spec.stall_s)
+        elif fault == "abort":
+            if _in_worker():
+                os._exit(37)
+            raise ChaosError(
+                f"injected abort (degraded to exception outside a worker) "
+                f"for task {task_key} attempt {attempt}")
+        else:
+            raise ChaosError(
+                f"injected failure for task {task_key} attempt {attempt}")
+
+
+def maybe_inject_block(task_keys: "list[str]") -> None:
+    """Fault a batched block if any member task would fault on attempt 0.
+
+    Batched blocks run through the engine in one call, so per-task
+    injection cannot reach inside them; instead the whole block faults,
+    which exercises exactly the production path: a failed block falls
+    back to per-task execution, where per-task injection (and the retry
+    policy) takes over.
+    """
+    spec = active()
+    if spec is None:
+        return
+    for key in task_keys:
+        for fault in spec.faults_for(key, 0):
+            if fault == "stall":
+                import time
+
+                time.sleep(spec.stall_s)
+            elif fault == "abort" and _in_worker():
+                os._exit(37)
+            else:
+                raise ChaosError(
+                    f"injected block failure (member task {key})")
+
+
+def torn_shard_write(shard_name: str) -> bool:
+    """Whether to tear the shard tail after the append just committed.
+
+    Decided per ``(seed, shard name, committed-append count)`` so the
+    injection is deterministic per writer lineage; the caller tracks the
+    count and performs the actual tear.
+    """
+    spec = active()
+    if spec is None or spec.torn_write_rate <= 0:
+        return False
+    global _torn_count
+    _torn_count += 1
+    return spec.roll("torn", shard_name, _torn_count) < spec.torn_write_rate
+
+
+_torn_count = 0

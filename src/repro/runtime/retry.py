@@ -1,0 +1,116 @@
+"""Deterministic retry policy for campaign tasks.
+
+A transient worker failure (OOM-killed sibling, flaky I/O, injected
+chaos fault) should cost one extra execution, not the sweep.  The
+:class:`RetryPolicy` gives every campaign task a bounded number of
+re-executions with exponential backoff — and keeps the campaign's
+determinism contract intact:
+
+- **Results are untouched.**  A retried task re-runs the same
+  :class:`~repro.runtime.spec.RunSpec` with the same baked-in seed, so
+  the value it produces — and the store record written for it — is
+  bit-identical to a first-attempt success.  Retrying changes wall
+  clock, never bytes.
+- **Backoff jitter is seeded, not sampled.**  The jitter fraction is
+  drawn from a dedicated :class:`numpy.random.SeedSequence` stream
+  derived from the task's own seed and the attempt number under a
+  private ``spawn_key`` namespace (:data:`_JITTER_STREAM`).  It never
+  touches the task's RNG stream (the task re-expands its integer seed
+  itself) and never touches global random state, so two runs of the
+  same campaign sleep the same schedule and compute the same values.
+
+The policy is a frozen, picklable value object: the pool backend ships
+it into worker processes next to the task block, so backoff sleeps
+happen inside the worker that will re-execute the task and never block
+the parent's completion loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.spec import RunSpec
+
+__all__ = ["RetryPolicy"]
+
+#: Private ``spawn_key`` namespace for backoff jitter streams.  Task
+#: RNG streams use ``spawn_key=(task_index,)`` (repro.runtime.seeding);
+#: keeping jitter under a disjoint constant first element guarantees the
+#: two families of streams can never collide.
+_JITTER_STREAM = 0x52455452  # "RETR"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-execute a failed task, and how to pace it.
+
+    Parameters
+    ----------
+    retries:
+        Maximum number of *re*-executions per task (0 disables retrying;
+        a task is attempted at most ``retries + 1`` times).
+    backoff_s:
+        Base delay before the first retry.  Subsequent retries multiply
+        it by ``multiplier`` per attempt, capped at ``max_backoff_s``.
+    multiplier:
+        Exponential growth factor of the backoff.
+    max_backoff_s:
+        Upper bound on any single delay.
+    jitter:
+        Fraction of the base delay added as deterministic jitter: the
+        actual delay is ``base * (1 + jitter * u)`` with ``u`` drawn
+        from the task's seeded jitter stream (see module docstring).
+    """
+
+    retries: int = 0
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 30.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when retry number ``attempt`` (1-based) is within budget."""
+        return 1 <= attempt <= self.retries
+
+    def delay_s(self, spec: RunSpec, attempt: int) -> float:
+        """Deterministic backoff delay before retry ``attempt`` (1-based).
+
+        Exponential in ``attempt`` with a jitter term drawn from a
+        seeded stream keyed on ``(spec.seed, spec.index, attempt)`` —
+        the same spec retried the same number of times always sleeps
+        the same schedule, in any process.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.backoff_s * self.multiplier ** (attempt - 1),
+                   self.max_backoff_s)
+        if base <= 0:
+            return 0.0
+        if self.jitter > 0:
+            seq = np.random.SeedSequence(
+                entropy=int(spec.seed or 0),
+                spawn_key=(_JITTER_STREAM, int(spec.index), int(attempt)))
+            u = float(np.random.default_rng(seq).random())
+            base *= 1.0 + self.jitter * u
+        return min(base, self.max_backoff_s)
+
+    def sleep(self, spec: RunSpec, attempt: int) -> float:
+        """Sleep the backoff for retry ``attempt``; returns the delay."""
+        delay = self.delay_s(spec, attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay

@@ -50,8 +50,25 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro import telemetry
+from repro.runtime import chaos
 
-__all__ = ["PackedShards", "SHARD_DIR", "SHARD_FORMAT_VERSION", "ShardEntry"]
+__all__ = ["PackedShards", "SHARD_DIR", "SHARD_FORMAT_VERSION",
+           "ShardEntry", "StoreError"]
+
+
+class StoreError(RuntimeError):
+    """The result store cannot do its job — said clearly, not as a deep
+    traceback from inside a write path.
+
+    Raised when the cache directory is unwritable (``ResultStore.
+    ensure_writable`` — the CLIs call it before starting a campaign) and
+    when a write fails mid-run (disk full, permissions yanked).  Write
+    failures leave the store consistent: per-file writes are atomic, and
+    a failed packed-shard append truncates back to the entry start so
+    the sidecar index never points at torn bytes.  Defined here (the
+    lowest store layer) and re-exported by :mod:`repro.runtime.store`,
+    its public home.
+    """
 
 #: On-disk format version, recorded in every entry's JSON record.  Bump
 #: on any change to the entry layout or descriptor schema (see
@@ -227,7 +244,11 @@ class PackedShards:
 
         The shard entry lands (flushed) before its index line, so a crash
         between the two leaves a recoverable shard tail, never an index
-        line pointing at missing bytes.
+        line pointing at missing bytes.  A write that fails midway
+        (ENOSPC, yanked permissions) is truncated back to the entry
+        start and re-raised as :class:`StoreError`: the shard keeps no
+        torn tail and the sidecar index — which never saw the entry —
+        stays consistent.
         """
         descrs, sources, pos = {}, [], 0
         for name in sorted(arrays):
@@ -247,26 +268,67 @@ class PackedShards:
 
         _, name, shard_fh, idx_fh = self._writer_handles()
         offset = shard_fh.tell()
-        shard_fh.write(_HEADER.pack(_MAGIC, zlib.crc32(payload),
-                                    len(payload), pos))
-        shard_fh.write(payload)
-        for descr, contig in zip(descrs.values(), sources):
-            data = contig.tobytes(order=descr["order"])
-            shard_fh.write(data)
-            shard_fh.write(b"\0" * _pad(len(data)))
-        shard_fh.flush()
+        try:
+            shard_fh.write(_HEADER.pack(_MAGIC, zlib.crc32(payload),
+                                        len(payload), pos))
+            shard_fh.write(payload)
+            for descr, contig in zip(descrs.values(), sources):
+                data = contig.tobytes(order=descr["order"])
+                shard_fh.write(data)
+                shard_fh.write(b"\0" * _pad(len(data)))
+            shard_fh.flush()
+        except OSError as exc:
+            # Disk full (or permissions yanked) mid-entry: cut the
+            # partial entry away so the shard carries no torn tail.  If
+            # even the truncate fails, the recovery scan stops at the
+            # torn entry anyway — either way the index stays consistent,
+            # because the sidecar line below was never written.
+            try:
+                shard_fh.truncate(offset)
+                shard_fh.seek(offset)
+            except OSError:
+                pass
+            raise StoreError(
+                f"packed-shard append of {key!r} failed mid-write: {exc} "
+                f"(shard truncated back to the previous entry; the index "
+                f"is consistent)") from exc
 
         entry = ShardEntry(
             key=key, shard=name, offset=offset, json_len=len(payload),
             arr_len=pos, n_arrays=len(descrs),
             fn=(spec or {}).get("fn"), seed=(spec or {}).get("seed"),
         )
-        idx_fh.write(entry.to_line())
-        idx_fh.flush()
+        try:
+            idx_fh.write(entry.to_line())
+            idx_fh.flush()
+        except OSError:
+            # The entry itself is durably committed and the sidecar is
+            # only a cache: a reader recovers the uncovered tail by
+            # scanning the shard.  Don't fail a stored result over it.
+            telemetry.count("store.shard.idx_write_failures")
         self._index[key] = entry
         self._covered[name] = entry.end
         telemetry.count("store.shard.appends")
+        if chaos.active() is not None and chaos.torn_shard_write(name):
+            self._tear_tail(shard_fh, name)
         return self.root / name
+
+    def _tear_tail(self, shard_fh, name: str) -> None:
+        """Chaos hook: simulate this writer crashing mid-append.
+
+        Writes a garbage partial header at the shard tail — after the
+        committed entry, whose index line is already durable — then
+        retires the writer handles so the next append opens a fresh
+        shard, exactly like a replacement process would.  Readers must
+        scan around the torn tail (:meth:`scan_shard` stops at it).
+        """
+        try:
+            shard_fh.write(_MAGIC + b"\x7f\x7f\x7f")
+            shard_fh.flush()
+        except OSError:  # pragma: no cover - chaos on a full disk
+            pass
+        self._close_writer()
+        telemetry.count("store.shard.chaos_tears")
 
     # -- index maintenance ----------------------------------------------
 

@@ -42,9 +42,10 @@ from typing import Iterator, Mapping
 import numpy as np
 
 from repro import telemetry
-from repro.runtime.shards import PackedShards, SHARD_DIR
+from repro.runtime.shards import PackedShards, SHARD_DIR, StoreError
 
-__all__ = ["GcStats", "MigrateStats", "ResultStore", "StoreEntry"]
+__all__ = ["GcStats", "MigrateStats", "ResultStore", "StoreEntry",
+           "StoreError"]
 
 _FORMAT_VERSION = 1
 _ARRAYS_MARKER = "__arrays__"
@@ -261,27 +262,55 @@ class ResultStore:
                 sp.set(bytes=nbytes, n_arrays=len(arrays), packed=True)
                 return path
             path = self.path_for(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            if arrays:
-                self._atomic_write(
-                    self._npz_path(key),
-                    lambda fh: np.savez_compressed(fh, **arrays),
-                    binary=True,
-                )
-            record = {
-                "version": _FORMAT_VERSION,
-                "key": key,
-                "value": plain,
-                _ARRAYS_MARKER: sorted(arrays),
-            }
-            if spec is not None:
-                record["spec"] = dict(spec)
-            text = json.dumps(record, indent=1)
-            self._atomic_write(path, lambda fh: fh.write(text))
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                if arrays:
+                    self._atomic_write(
+                        self._npz_path(key),
+                        lambda fh: np.savez_compressed(fh, **arrays),
+                        binary=True,
+                    )
+                record = {
+                    "version": _FORMAT_VERSION,
+                    "key": key,
+                    "value": plain,
+                    _ARRAYS_MARKER: sorted(arrays),
+                }
+                if spec is not None:
+                    record["spec"] = dict(spec)
+                text = json.dumps(record, indent=1)
+                self._atomic_write(path, lambda fh: fh.write(text))
+            except OSError as exc:
+                # Full disk, revoked permissions, dead mount.  The
+                # atomic-write path already unlinked its temp file, so no
+                # torn record exists — surface one typed error instead of
+                # a backend-specific OSError mid-campaign.
+                raise StoreError(
+                    f"result store write of {key!r} under {self.root} "
+                    f"failed: {exc}") from exc
             telemetry.count("store.puts")
             telemetry.count("store.write_bytes", len(text))
             sp.set(bytes=len(text), n_arrays=len(arrays))
         return path
+
+    def ensure_writable(self) -> None:
+        """Fail fast with :class:`StoreError` if the store cannot accept
+        writes — unwritable/uncreatable root, root that is a file, or a
+        full disk.  Probes with a real temp-file write so the failure
+        surfaces before a campaign burns compute it cannot persist.
+        """
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".writable.")
+            try:
+                os.write(fd, b"probe")
+            finally:
+                os.close(fd)
+                os.unlink(tmp)
+        except OSError as exc:
+            raise StoreError(
+                f"cache directory {self.root} is not writable: {exc}"
+            ) from exc
 
     def _atomic_write(self, path: Path, writer, binary: bool = False) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -76,6 +76,24 @@ def build_scenario_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="live progress line on stderr (default: auto "
                             "when stderr is a TTY)")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry failed tasks up to N times with "
+                            "deterministic seed-jittered backoff (results "
+                            "are bit-identical to a first-attempt success)")
+        p.add_argument("--retry-backoff", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="base backoff between retry attempts; doubles "
+                            "per attempt (default: 0.05)")
+        p.add_argument("--stall-action", choices=["warn", "retry"],
+                       default="warn",
+                       help="watchdog response to stalled tasks: warn only, "
+                            "or abandon the stalled block and re-dispatch "
+                            "its tasks (default: warn)")
+        p.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume an interrupted sweep: completed tasks "
+                            "are served from the run's cache, and the new "
+                            "ledger record links back via resumed_from "
+                            "(requires --cache-dir)")
     return parser
 
 
@@ -84,7 +102,51 @@ def _store(cache_dir: "str | None"):
         return None
     from repro.runtime.store import ResultStore
 
-    return ResultStore(cache_dir)
+    store = ResultStore(cache_dir)
+    # Fail before the campaign starts, not after it computed results it
+    # cannot persist.
+    store.ensure_writable()
+    return store
+
+
+def _retry_policy(args):
+    if getattr(args, "retries", 0):
+        from repro.runtime.retry import RetryPolicy
+
+        return RetryPolicy(retries=args.retries,
+                           backoff_s=args.retry_backoff)
+    return None
+
+
+def _resume_record(args, spec) -> "tuple[dict | None, str | None]":
+    """Resolve ``--resume RUN_ID`` to its ledger record.
+
+    Returns ``(record, None)`` on success and ``(None, message)`` when the
+    resume target is missing, ambiguous, or names a different sweep —
+    resuming a run whose grid does not hash to the same spec key would
+    silently execute the *wrong* campaign against the old cache.
+    """
+    if not getattr(args, "resume", None):
+        return None, None
+    if args.cache_dir is None:
+        return None, ("--resume requires --cache-dir: completed tasks are "
+                      "skipped via the result store of the interrupted run")
+    from repro.obs.ledger import RunLedger
+    from repro.scenarios.sweep import _sweep_spec_key, scenario_sweep_spec
+
+    try:
+        record = RunLedger(args.cache_dir).find(args.resume)
+    except KeyError as exc:
+        return None, str(exc.args[0])
+    sweep = scenario_sweep_spec(spec, base_seed=args.seed,
+                                engine=args.engine)
+    spec_key = _sweep_spec_key(sweep.tasks())
+    if record.get("spec_key") and record["spec_key"] != spec_key:
+        return None, (
+            f"run {record['id']} swept a different grid "
+            f"(spec_key {record['spec_key']}, this invocation {spec_key}); "
+            "pass the same scenario, --seed, and --engine to resume it")
+    return record, None
 
 
 def _maybe_profiled(args, label: str, tracker=None):
@@ -155,16 +217,31 @@ def _cmd_validate(args) -> int:
 def _observed_sweep(args, spec) -> int:
     """One observed sweep: event bus + progress + ledger + exit summary."""
     from repro.obs import observe_run
+    from repro.runtime.store import StoreError
 
-    with observe_run("scenario.sweep", spec.name, cache_dir=args.cache_dir,
-                     progress=args.progress) as tracker:
-        with _maybe_profiled(args, "scenario.sweep", tracker):
-            result = run_scenario_sweep(
-                spec, base_seed=args.seed, engine=args.engine,
-                jobs=args.jobs, store=_store(args.cache_dir),
-                batch=not args.no_batch,
-            )
-        print(result.render())
+    resumed, problem = _resume_record(args, spec)
+    if problem is not None:
+        print(f"scenario error: {problem}", file=sys.stderr)
+        return 2
+    try:
+        with observe_run("scenario.sweep", spec.name,
+                         cache_dir=args.cache_dir,
+                         progress=args.progress) as tracker:
+            if resumed is not None:
+                tracker.set_resumed_from(resumed["id"])
+            with _maybe_profiled(args, "scenario.sweep", tracker):
+                result = run_scenario_sweep(
+                    spec, base_seed=args.seed, engine=args.engine,
+                    jobs=args.jobs, store=_store(args.cache_dir),
+                    batch=not args.no_batch,
+                    retry=_retry_policy(args),
+                    stall_action=args.stall_action,
+                )
+            tracker.set_retry_wasted(result.campaign.retry_wasted_s)
+            print(result.render())
+    except StoreError as exc:
+        print(f"store error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -172,6 +249,10 @@ def _cmd_run(args) -> int:
     spec = resolve_scenario(args.scenario)
     if spec.sweep is not None:
         return _observed_sweep(args, spec)
+    if getattr(args, "resume", None):
+        print("scenario error: --resume only applies to sweeps (this "
+              "scenario has no sweep block)", file=sys.stderr)
+        return 2
     from repro.obs import observe_run
 
     with observe_run("scenario.run", spec.name, cache_dir=args.cache_dir,

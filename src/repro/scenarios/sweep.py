@@ -217,14 +217,19 @@ def run_scenario_sweep(
     jobs: int = 1,
     store=None,
     batch: bool = True,
+    retry=None,
+    stall_action: str = "warn",
 ) -> ScenarioSweepResult:
     """Run a scenario's grid through the campaign runtime and aggregate.
 
-    ``jobs``/``store`` are forwarded to
+    ``jobs``/``store``/``retry``/``stall_action`` are forwarded to
     :func:`repro.runtime.executor.run_campaign`; task failures raise.
     With ``batch`` (the default) contiguous replicate blocks of one grid
     point execute as single batched-engine invocations — results are
-    bit-identical to unbatched runs, only faster.
+    bit-identical to unbatched runs, only faster.  A
+    :class:`~repro.runtime.retry.RetryPolicy` makes transient task
+    failures self-heal with results bit-identical to a first-attempt
+    success.
     """
     from repro.scenarios.batch import ScenarioTaskBatcher
 
@@ -244,6 +249,7 @@ def run_scenario_sweep(
     campaign = run_campaign(
         tasks, jobs=jobs, store=store,
         batcher=ScenarioTaskBatcher() if batch else None,
+        retry=retry, stall_action=stall_action,
     )
     if owns_run:
         events.emit("run.finish",

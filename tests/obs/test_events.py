@@ -133,11 +133,13 @@ class TestVocabulary:
     def test_known_events_cover_the_lifecycle(self):
         assert {"run.start", "run.finish", "task.submit", "task.start",
                 "task.done", "task.failed", "task.cache_hit",
+                "task.retry", "task.quarantined",
                 "block.dispatch", "block.fallback",
                 "report.phase",
                 # pool-only health events (outside the --jobs 1
                 # identity contract, see repro.obs.health)
-                "task.stall", "worker.heartbeat"} == KNOWN_EVENTS
+                "task.stall", "worker.heartbeat",
+                "pool.respawn"} == KNOWN_EVENTS
 
     def test_event_version_is_an_int(self):
-        assert isinstance(EVENT_VERSION, int) and EVENT_VERSION >= 1
+        assert isinstance(EVENT_VERSION, int) and EVENT_VERSION >= 2

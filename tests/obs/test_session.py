@@ -1,0 +1,45 @@
+"""observe_run: ledger persistence across ok / failed / interrupted exits."""
+
+import json
+
+import pytest
+
+from repro.obs import observe_run
+from repro.obs.ledger import RUN_RECORD_VERSION
+
+
+def _records(cache):
+    return [json.loads(p.read_text())
+            for p in sorted((cache / "runs").glob("*.json"))]
+
+
+class TestExitStatus:
+    def test_clean_run_records_ok(self, tmp_path):
+        with observe_run("scenario.sweep", "demo", cache_dir=tmp_path,
+                         progress=False, echo=None):
+            pass
+        (record,) = _records(tmp_path)
+        assert record["status"] == "ok"
+        assert record["version"] == RUN_RECORD_VERSION
+
+    def test_keyboard_interrupt_records_interrupted_and_reraises(
+            self, tmp_path):
+        """^C persists a ledger record marked interrupted — the hook
+        ``--resume`` later keys off — and still propagates the ^C."""
+        with pytest.raises(KeyboardInterrupt):
+            with observe_run("scenario.sweep", "demo", cache_dir=tmp_path,
+                             progress=False, echo=None):
+                raise KeyboardInterrupt
+        (record,) = _records(tmp_path)
+        assert record["status"] == "interrupted"
+        # An interruption is not a crash: no failure summary is invented.
+        assert record["failures"] == []
+
+    def test_crash_records_failed_with_summary(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with observe_run("scenario.sweep", "demo", cache_dir=tmp_path,
+                             progress=False, echo=None):
+                raise RuntimeError("boom")
+        (record,) = _records(tmp_path)
+        assert record["status"] == "failed"
+        assert any("boom" in f for f in record["failures"])

@@ -65,6 +65,40 @@ class TestRun:
         assert "report error" in capsys.readouterr().err
 
 
+class TestResume:
+    def test_resume_links_the_new_run_to_the_old_one(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        cache = str(tmp_path / "cache")
+        assert report_main(["run", "campaign_rate_response",
+                            "--cache-dir", cache]) == 0
+        (first,) = RunLedger(cache).records()
+        capsys.readouterr()
+
+        assert report_main(["run", "campaign_rate_response",
+                            "--cache-dir", cache,
+                            "--resume", first["id"]]) == 0
+        assert "12 from store, 0 executed" in capsys.readouterr().out
+        records = list(RunLedger(cache).records())
+        assert len(records) == 2
+        assert records[-1]["resumed_from"] == first["id"]
+
+    def test_resume_requires_cache_dir(self, capsys):
+        assert report_main(["run", "campaign_rate_response",
+                            "--resume", "run-deadbeef"]) == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_resume_of_unknown_run_exits_2(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert report_main(["run", "campaign_rate_response",
+                            "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert report_main(["run", "campaign_rate_response",
+                            "--cache-dir", cache,
+                            "--resume", "nosuchrun"]) == 2
+        assert "no run 'nosuchrun'" in capsys.readouterr().err
+
+
 class TestMainWiring:
     def test_main_dispatches_report(self, capsys):
         assert repro_main(["report", "list"]) == 0

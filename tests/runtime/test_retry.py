@@ -1,0 +1,86 @@
+"""Deterministic retry policy: backoff shape and seed-derived jitter."""
+
+import pytest
+
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.spec import RunSpec
+
+
+def _spec(index=0, seed=42):
+    return RunSpec(fn="repro.runtime.tasks:rng_probe_task",
+                   params=(("n", 2),), seed=seed, index=index)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.retries == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"retries": -1},
+        {"backoff_s": -0.1},
+        {"multiplier": 0.5},
+        {"max_backoff_s": -1.0},
+        {"jitter": -0.1},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestShouldRetry:
+    def test_budget_is_respected(self):
+        policy = RetryPolicy(retries=2)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_zero_budget_never_retries(self):
+        assert not RetryPolicy().should_retry(1)
+
+
+class TestDelay:
+    def test_delay_is_deterministic_per_spec_and_attempt(self):
+        policy = RetryPolicy(retries=3, backoff_s=0.1)
+        spec = _spec()
+        assert policy.delay_s(spec, 1) == policy.delay_s(spec, 1)
+
+    def test_delay_varies_across_attempts_and_tasks(self):
+        policy = RetryPolicy(retries=3, backoff_s=0.1)
+        d = {policy.delay_s(_spec(index=i), attempt)
+             for i in range(4) for attempt in (1, 2)}
+        assert len(d) == 8  # jitter streams are pairwise distinct
+
+    def test_backoff_grows_geometrically(self):
+        policy = RetryPolicy(retries=5, backoff_s=0.1, jitter=0.0)
+        spec = _spec()
+        assert policy.delay_s(spec, 1) == pytest.approx(0.1)
+        assert policy.delay_s(spec, 2) == pytest.approx(0.2)
+        assert policy.delay_s(spec, 3) == pytest.approx(0.4)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(retries=10, backoff_s=1.0, max_backoff_s=2.0,
+                             jitter=0.0)
+        assert policy.delay_s(_spec(), 8) == pytest.approx(2.0)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(retries=3, backoff_s=0.1, jitter=0.5)
+        for i in range(16):
+            delay = policy.delay_s(_spec(index=i), 1)
+            assert 0.1 <= delay <= 0.15 + 1e-12
+
+    def test_jitter_independent_of_task_result_stream(self):
+        """The jitter stream must never be the task's own seed stream:
+        identical first draws would correlate backoff with results."""
+        import numpy as np
+
+        spec = _spec(seed=7)
+        policy = RetryPolicy(retries=1, backoff_s=1.0, jitter=1.0,
+                             multiplier=2.0)
+        task_draw = float(np.random.default_rng(7).random())
+        jitter_draw = policy.delay_s(spec, 1) - 1.0
+        assert abs(task_draw - jitter_draw) > 1e-12
+
+    def test_sleep_returns_the_delay(self):
+        policy = RetryPolicy(retries=1, backoff_s=0.0, jitter=0.0)
+        assert policy.sleep(_spec(), 1) == 0.0
